@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks of the atomic operations the paper's runtime
+//! argument rests on: one lithography forward pass vs one CNN inference
+//! (the reason learned selection beats simulation-based selection), plus
+//! the decomposition and vision substrates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ldmo_core::predictor::PrintabilityPredictor;
+use ldmo_decomp::covering::covering_array;
+use ldmo_decomp::{generate_candidates, DecompConfig};
+use ldmo_geom::{Grid, Rect};
+use ldmo_ilt::{IltConfig, IltSession};
+use ldmo_layout::cells;
+use ldmo_litho::{
+    aerial_image, detect_violations, measure_epe, resist_threshold, simulate_print, KernelBank,
+    LithoConfig,
+};
+use ldmo_vision::sift::{extract_features, SiftConfig};
+
+fn cell_mask() -> (Grid, KernelBank, LithoConfig) {
+    let cfg = LithoConfig::default();
+    let bank = KernelBank::paper_bank(&cfg);
+    let layout = cells::cell("AOI211_X1").expect("known cell");
+    let mask = layout.rasterize_target(cfg.nm_per_px);
+    (mask, bank, cfg)
+}
+
+fn bench_litho(c: &mut Criterion) {
+    let (mask, bank, cfg) = cell_mask();
+    let mut group = c.benchmark_group("litho");
+    group.sample_size(20);
+    group.bench_function("aerial_image_224", |b| {
+        b.iter(|| aerial_image(&mask, &bank))
+    });
+    let aerial = aerial_image(&mask, &bank);
+    group.bench_function("resist_threshold_224", |b| {
+        b.iter(|| resist_threshold(&aerial.intensity, &cfg))
+    });
+    let printed = simulate_print(&mask, &bank, &cfg);
+    let layout = cells::cell("AOI211_X1").expect("known cell");
+    group.bench_function("measure_epe", |b| {
+        b.iter(|| measure_epe(&printed, layout.patterns(), &cfg))
+    });
+    group.bench_function("detect_violations", |b| {
+        b.iter(|| detect_violations(&printed, layout.patterns(), 0.5, cfg.nm_per_px))
+    });
+    group.finish();
+}
+
+fn bench_ilt(c: &mut Criterion) {
+    let layout = cells::cell("BUF_X1").expect("known cell");
+    let cfg = IltConfig::default();
+    let mut group = c.benchmark_group("ilt");
+    group.sample_size(10);
+    group.bench_function("one_iteration", |b| {
+        b.iter_batched(
+            || IltSession::new(&layout, &[0, 1, 1, 0], &cfg),
+            |mut session| session.step_one(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_cnn(c: &mut Criterion) {
+    // the paper's core runtime claim: CNN inference ≪ litho simulation
+    let layout = cells::cell("AOI211_X1").expect("known cell");
+    let mut predictor = PrintabilityPredictor::lite(1);
+    let assignment: Vec<u8> = vec![0, 1, 0, 1, 0, 1, 0, 1];
+    let mut group = c.benchmark_group("cnn");
+    group.sample_size(20);
+    group.bench_function("predict_one_candidate", |b| {
+        b.iter(|| predictor.predict(&layout, &assignment))
+    });
+    group.finish();
+}
+
+fn bench_decomp(c: &mut Criterion) {
+    let layout = cells::cell("AOI211_X1").expect("known cell");
+    let cfg = DecompConfig::default();
+    let mut group = c.benchmark_group("decomp");
+    group.bench_function("generate_candidates_aoi211", |b| {
+        b.iter(|| generate_candidates(&layout, &cfg))
+    });
+    group.bench_function("covering_array_10_3", |b| {
+        b.iter(|| covering_array(10, 3))
+    });
+    group.finish();
+}
+
+fn bench_vision(c: &mut Criterion) {
+    let layout = cells::cell("AOI211_X1").expect("known cell");
+    let img = layout.rasterize_target(4.0);
+    let mut group = c.benchmark_group("vision");
+    group.sample_size(20);
+    group.bench_function("sift_extract_112", |b| {
+        b.iter(|| extract_features(&img, &SiftConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_conv_ablation(c: &mut Criterion) {
+    // DESIGN.md §4: direct vs separable vs FFT convolution crossover
+    use ldmo_litho::{convolve2d_direct, convolve2d_fft, CoherentKernel};
+    let mut grid = Grid::zeros(128, 128);
+    grid.fill_rect(&Rect::new(40, 40, 90, 90), 1.0);
+    let mut group = c.benchmark_group("conv_ablation");
+    group.sample_size(10);
+    for sigma in [2.0f64, 6.0] {
+        let kernel = CoherentKernel::gaussian(sigma, 1.0);
+        let (dense, k) = kernel.to_dense();
+        group.bench_function(format!("direct_sigma{sigma}"), |b| {
+            b.iter(|| convolve2d_direct(&grid, &dense, k, k))
+        });
+        group.bench_function(format!("separable_sigma{sigma}"), |b| {
+            b.iter(|| kernel.field(&grid))
+        });
+        group.bench_function(format!("fft_sigma{sigma}"), |b| {
+            b.iter(|| convolve2d_fft(&grid, &dense, k, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_litho,
+    bench_ilt,
+    bench_cnn,
+    bench_decomp,
+    bench_vision,
+    bench_conv_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Diagnostic: per-cell class mix and candidate counts.
+use ldmo_decomp::{generate_candidates, DecompConfig};
+use ldmo_layout::cells;
+use ldmo_layout::classify::{pattern_sets, ClassifyConfig};
+use ldmo_layout::drc::{check_drc, DrcRules};
+
+fn main() {
+    let cfg = DecompConfig::default();
+    for (name, l) in cells::all_cells() {
+        let sets = pattern_sets(&l, &ClassifyConfig::default());
+        let cands = generate_candidates(&l, &cfg);
+        let drc = check_drc(&l, &DrcRules::default());
+        println!(
+            "{name:>12}: n={} sp={} vp={} np={} candidates={} drc_violations={}",
+            l.len(), sets.sp.len(), sets.vp.len(), sets.np.len(), cands.len(), drc.len()
+        );
+    }
+}

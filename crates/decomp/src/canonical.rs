@@ -1,0 +1,109 @@
+//! Dual-decomposition canonicalization (paper Fig. 4c).
+//!
+//! Masks are unordered: flipping every bit of an assignment describes the
+//! same decomposition, so the same physical solution has two image
+//! encodings. The paper "manually numbers the masks and fixes the pattern
+//! numbered 1 on M1": whenever pattern 0 lands on mask 1, the whole row is
+//! reversed, then identical rows are merged.
+
+/// Canonicalizes a mask assignment in place: if the first pattern is on
+/// mask 1, every bit is flipped. The relative position relationship among
+/// patterns is untouched.
+///
+/// ```
+/// use ldmo_decomp::canonical::canonicalize;
+///
+/// let mut a = vec![1, 0, 1];
+/// canonicalize(&mut a);
+/// assert_eq!(a, vec![0, 1, 0]);
+///
+/// let mut b = vec![0, 1, 0];
+/// canonicalize(&mut b);
+/// assert_eq!(b, vec![0, 1, 0]); // already canonical
+/// ```
+pub fn canonicalize(assignment: &mut [u8]) {
+    if assignment.first() == Some(&1) {
+        for v in assignment.iter_mut() {
+            *v = 1 - *v;
+        }
+    }
+}
+
+/// Canonicalizes every row and drops duplicates, preserving first-seen
+/// order (the paper's "merge the group with the same value").
+pub fn canonical_dedup(mut rows: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows.drain(..) {
+        let mut row = row;
+        canonicalize(&mut row);
+        if seen.insert(row.clone()) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn flip_only_when_first_is_one() {
+        let mut a = vec![1, 1, 0, 1];
+        canonicalize(&mut a);
+        assert_eq!(a, vec![0, 0, 1, 0]);
+        let mut b = vec![0, 0, 1];
+        canonicalize(&mut b);
+        assert_eq!(b, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn empty_assignment_is_fine() {
+        let mut a: Vec<u8> = vec![];
+        canonicalize(&mut a);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn dual_rows_merge_to_one() {
+        let rows = vec![vec![0, 1, 0], vec![1, 0, 1]]; // duals of each other
+        let merged = canonical_dedup(rows);
+        assert_eq!(merged, vec![vec![0, 1, 0]]);
+    }
+
+    #[test]
+    fn distinct_decompositions_survive() {
+        let rows = vec![vec![0, 1, 0], vec![0, 0, 1], vec![0, 1, 1]];
+        let merged = canonical_dedup(rows);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn order_preserved() {
+        let rows = vec![vec![1, 0], vec![0, 0], vec![0, 1]];
+        // first row canonicalizes to [0, 1]; third is its duplicate
+        let merged = canonical_dedup(rows);
+        assert_eq!(merged, vec![vec![0, 1], vec![0, 0]]);
+    }
+
+    proptest! {
+        #[test]
+        fn canonical_is_idempotent(mut row in proptest::collection::vec(0u8..2, 1..12)) {
+            canonicalize(&mut row);
+            let once = row.clone();
+            canonicalize(&mut row);
+            prop_assert_eq!(once, row);
+        }
+
+        #[test]
+        fn canonical_identifies_duals(row in proptest::collection::vec(0u8..2, 1..12)) {
+            let mut a = row.clone();
+            let mut b: Vec<u8> = row.iter().map(|v| 1 - v).collect();
+            canonicalize(&mut a);
+            canonicalize(&mut b);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! n-wise (combinatorial) covering arrays over binary factors — the
+//! substitute for the Microsoft PICT library the paper uses.
+//!
+//! A strength-`t` covering array over `k` binary factors is a set of rows in
+//! `{0,1}^k` such that for *any* `t` columns, all `2^t` value combinations
+//! appear in some row (paper Section III-A, Fig. 4). The generator is a
+//! deterministic greedy in the AETG family: each new row is chosen among
+//! several greedily completed candidates to cover as many still-uncovered
+//! `t`-tuples as possible.
+
+/// Generates a strength-`t` covering array over `k` binary factors.
+///
+/// Rows are returned as `Vec<u8>` of length `k` with values 0/1. The result
+/// is deterministic for given `(k, t)`.
+///
+/// Edge cases: `k == 0` yields one empty row; `t >= k` yields the full
+/// Cartesian product `{0,1}^k`; `t == 0` yields a single all-zero row.
+///
+/// ```
+/// use ldmo_decomp::covering::{covering_array, is_covering};
+///
+/// let rows = covering_array(6, 2);
+/// assert!(is_covering(&rows, 6, 2));
+/// // far fewer rows than the 64-row Cartesian product
+/// assert!(rows.len() <= 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `t > 16` (tuple enumeration would overflow; the paper only
+/// uses strengths 2 and 3).
+pub fn covering_array(k: usize, t: usize) -> Vec<Vec<u8>> {
+    assert!(t <= 16, "strength above 16 is not supported");
+    if k == 0 {
+        return vec![vec![]];
+    }
+    if t == 0 {
+        return vec![vec![0; k]];
+    }
+    if t >= k {
+        return cartesian(k);
+    }
+    let columns = column_combos(k, t);
+    // uncovered[ci] = bitmask over 2^t value combinations not yet seen
+    let full: u32 = (1u32 << (1 << t)) - 1;
+    let mut uncovered: Vec<u32> = vec![full; columns.len()];
+    let mut remaining: usize = columns.len() << t;
+    let mut rows: Vec<Vec<u8>> = Vec::new();
+    let mut rotate = 0usize;
+    while remaining > 0 {
+        let mut best: Option<(usize, Vec<u8>)> = None;
+        // several deterministic candidate rows, varying the seed tuple and
+        // the column fill order
+        for c in 0..8 {
+            let cand = build_candidate(k, t, &columns, &uncovered, rotate + c);
+            let gain = coverage_gain(&cand, t, &columns, &uncovered);
+            if best.as_ref().map_or(true, |(g, _)| gain > *g) {
+                best = Some((gain, cand));
+            }
+        }
+        let (gain, row) = best.expect("at least one candidate");
+        debug_assert!(gain > 0, "greedy must always make progress");
+        // mark covered
+        for (ci, cols) in columns.iter().enumerate() {
+            let v = value_index(&row, cols);
+            if uncovered[ci] & (1 << v) != 0 {
+                uncovered[ci] &= !(1 << v);
+                remaining -= 1;
+            }
+        }
+        rows.push(row);
+        rotate += 1;
+    }
+    rows
+}
+
+/// Verifies that `rows` is a strength-`t` covering array over `k` binary
+/// factors.
+pub fn is_covering(rows: &[Vec<u8>], k: usize, t: usize) -> bool {
+    if k == 0 || t == 0 {
+        return !rows.is_empty();
+    }
+    let t = t.min(k);
+    for cols in column_combos(k, t) {
+        let mut seen = 0u32;
+        for row in rows {
+            if row.len() != k {
+                return false;
+            }
+            seen |= 1 << value_index(row, &cols);
+        }
+        if seen != (1u32 << (1 << t)) - 1 {
+            return false;
+        }
+    }
+    true
+}
+
+fn cartesian(k: usize) -> Vec<Vec<u8>> {
+    (0..(1usize << k))
+        .map(|m| (0..k).map(|i| ((m >> i) & 1) as u8).collect())
+        .collect()
+}
+
+fn column_combos(k: usize, t: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut combo: Vec<usize> = (0..t).collect();
+    loop {
+        out.push(combo.clone());
+        // next lexicographic combination
+        let mut i = t;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if combo[i] != i + k - t {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        combo[i] += 1;
+        for j in i + 1..t {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
+}
+
+#[inline]
+fn value_index(row: &[u8], cols: &[usize]) -> u32 {
+    cols.iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, &c)| acc | (u32::from(row[c]) << i))
+}
+
+fn build_candidate(
+    k: usize,
+    t: usize,
+    columns: &[Vec<usize>],
+    uncovered: &[u32],
+    variant: usize,
+) -> Vec<u8> {
+    // seed: the `variant`-th column set that still has uncovered tuples
+    let mut row: Vec<Option<u8>> = vec![None; k];
+    let open: Vec<usize> = (0..columns.len()).filter(|&ci| uncovered[ci] != 0).collect();
+    if !open.is_empty() {
+        let ci = open[variant % open.len()];
+        let v = uncovered[ci].trailing_zeros();
+        for (i, &c) in columns[ci].iter().enumerate() {
+            row[c] = Some(((v >> i) & 1) as u8);
+        }
+    }
+    // fill remaining columns greedily, in an order rotated by `variant`
+    for off in 0..k {
+        let c = (off + variant * 7) % k;
+        if row[c].is_some() {
+            continue;
+        }
+        let mut best_v = 0u8;
+        let mut best_gain = -1i64;
+        for v in 0..2u8 {
+            row[c] = Some(v);
+            let gain = partial_gain(&row, t, columns, uncovered) as i64;
+            if gain > best_gain {
+                best_gain = gain;
+                best_v = v;
+            }
+        }
+        row[c] = Some(best_v);
+    }
+    row.into_iter().map(|v| v.unwrap_or(0)).collect()
+}
+
+/// Number of uncovered tuples that a (possibly partial) row can still cover:
+/// counts column sets fully assigned by the row whose value is uncovered.
+fn partial_gain(row: &[Option<u8>], _t: usize, columns: &[Vec<usize>], uncovered: &[u32]) -> u32 {
+    let mut gain = 0;
+    for (ci, cols) in columns.iter().enumerate() {
+        if uncovered[ci] == 0 {
+            continue;
+        }
+        let mut v = 0u32;
+        let mut complete = true;
+        for (i, &c) in cols.iter().enumerate() {
+            match row[c] {
+                Some(bit) => v |= u32::from(bit) << i,
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete && uncovered[ci] & (1 << v) != 0 {
+            gain += 1;
+        }
+    }
+    gain
+}
+
+fn coverage_gain(row: &[u8], _t: usize, columns: &[Vec<usize>], uncovered: &[u32]) -> usize {
+    let mut gain = 0;
+    for (ci, cols) in columns.iter().enumerate() {
+        if uncovered[ci] == 0 {
+            continue;
+        }
+        let v = value_index(row, cols);
+        if uncovered[ci] & (1 << v) != 0 {
+            gain += 1;
+        }
+    }
+    gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pairwise_small_counts() {
+        for k in 2..=12 {
+            let rows = covering_array(k, 2);
+            assert!(is_covering(&rows, k, 2), "k={k} not covering");
+            // pairwise binary arrays stay tiny; Cartesian would be 2^k
+            assert!(rows.len() <= 12, "k={k}: {} rows", rows.len());
+        }
+    }
+
+    #[test]
+    fn three_wise_counts() {
+        for k in 4..=10 {
+            let rows = covering_array(k, 3);
+            assert!(is_covering(&rows, k, 3), "k={k} not covering");
+            assert!(
+                rows.len() <= 30,
+                "k={k}: {} rows (should be far below 2^{k})",
+                rows.len()
+            );
+        }
+    }
+
+    #[test]
+    fn strength_equal_k_is_cartesian() {
+        let rows = covering_array(3, 3);
+        assert_eq!(rows.len(), 8);
+        assert!(is_covering(&rows, 3, 3));
+    }
+
+    #[test]
+    fn strength_above_k_is_cartesian() {
+        let rows = covering_array(2, 3);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn zero_factors() {
+        let rows = covering_array(0, 2);
+        assert_eq!(rows, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn one_factor_pairwise() {
+        let rows = covering_array(1, 2);
+        assert!(is_covering(&rows, 1, 1));
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(covering_array(7, 2), covering_array(7, 2));
+        assert_eq!(covering_array(6, 3), covering_array(6, 3));
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        // the paper's pairwise example: 4 factors, 5 instances; ours must be
+        // a valid array of comparable size (±2 rows)
+        let rows = covering_array(4, 2);
+        assert!(is_covering(&rows, 4, 2));
+        assert!(rows.len() <= 7);
+    }
+
+    #[test]
+    fn verifier_rejects_bad_arrays() {
+        // a single row cannot be pairwise covering for k >= 2
+        assert!(!is_covering(&[vec![0, 0]], 2, 2));
+        // wrong row width
+        assert!(!is_covering(&[vec![0]], 2, 2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn random_sizes_always_cover(k in 2usize..10, t in 2usize..4) {
+            let rows = covering_array(k, t);
+            prop_assert!(is_covering(&rows, k, t));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! The weighted conflict graph over separated patterns (paper Fig. 3a).
+//!
+//! Vertices are the `SP` pattern indices; an edge connects two `SP` patterns
+//! whose edge-to-edge gap is at most the conflict distance (`nmin`), weighted
+//! by that gap. "The closer two patterns are, the stronger their interaction
+//! is, so the nearest nodes should be separated in the first place" — which
+//! is why the *minimum* spanning tree identifies the pairs that must go to
+//! different masks first.
+
+use ldmo_layout::Layout;
+
+/// A weighted undirected edge between two pattern indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Lower endpoint (pattern index into the layout).
+    pub a: usize,
+    /// Higher endpoint.
+    pub b: usize,
+    /// Edge-to-edge gap in nm.
+    pub weight: f64,
+}
+
+/// The conflict graph over a subset of patterns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConflictGraph {
+    /// The vertex set: pattern indices, ascending.
+    pub vertices: Vec<usize>,
+    /// Conflict edges (gap ≤ the conflict distance).
+    pub edges: Vec<Edge>,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph over the given `sp` pattern indices of
+    /// `layout`, connecting pairs with gap at most `conflict_distance`
+    /// (`nmin` in the paper).
+    ///
+    /// ```
+    /// use ldmo_geom::Rect;
+    /// use ldmo_layout::Layout;
+    /// use ldmo_decomp::ConflictGraph;
+    ///
+    /// let layout = Layout::new(
+    ///     Rect::new(0, 0, 448, 448),
+    ///     vec![Rect::square(40, 40, 64), Rect::square(170, 40, 64)],
+    /// );
+    /// let g = ConflictGraph::build(&layout, &[0, 1], 80.0);
+    /// assert_eq!(g.edges.len(), 1); // 66 nm gap ≤ 80
+    /// ```
+    pub fn build(layout: &Layout, sp: &[usize], conflict_distance: f64) -> Self {
+        let mut edges = Vec::new();
+        for (i, &pa) in sp.iter().enumerate() {
+            for &pb in &sp[i + 1..] {
+                let gap = layout.patterns()[pa].gap_to(&layout.patterns()[pb]);
+                if gap <= conflict_distance {
+                    edges.push(Edge {
+                        a: pa.min(pb),
+                        b: pa.max(pb),
+                        weight: gap,
+                    });
+                }
+            }
+        }
+        ConflictGraph {
+            vertices: sp.to_vec(),
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph is bipartite (2-colorable), checked by BFS.
+    pub fn is_bipartite(&self) -> bool {
+        use std::collections::{HashMap, VecDeque};
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for e in &self.edges {
+            adj.entry(e.a).or_default().push(e.b);
+            adj.entry(e.b).or_default().push(e.a);
+        }
+        let mut color: HashMap<usize, u8> = HashMap::new();
+        for &start in &self.vertices {
+            if color.contains_key(&start) {
+                continue;
+            }
+            color.insert(start, 0);
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                let cu = color[&u];
+                for &v in adj.get(&u).into_iter().flatten() {
+                    match color.get(&v) {
+                        Some(&cv) if cv == cu => return false,
+                        Some(_) => {}
+                        None => {
+                            color.insert(v, 1 - cu);
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Whether `layout` is double-patterning compatible: its conflict graph
+/// over *all* patterns (edges where the gap is at most `conflict_distance`,
+/// the paper's `nmin`) must be bipartite, otherwise some pattern pair
+/// closer than `nmin` inevitably shares a mask and cannot print. Real DPL
+/// design flows reject such layouts before decomposition.
+pub fn is_dpl_compatible(layout: &Layout, conflict_distance: f64) -> bool {
+    let all: Vec<usize> = (0..layout.len()).collect();
+    ConflictGraph::build(layout, &all, conflict_distance).is_bipartite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    fn layout(corners: &[(i32, i32)]) -> Layout {
+        Layout::new(
+            Rect::new(0, 0, 1000, 1000),
+            corners.iter().map(|&(x, y)| Rect::square(x, y, 64)).collect(),
+        )
+    }
+
+    #[test]
+    fn edges_only_within_conflict_distance() {
+        // gaps: 0-1 = 66 (edge), 1-2 = 120 (no edge)
+        let l = layout(&[(0, 0), (130, 0), (314, 0)]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2], 80.0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!((g.edges[0].a, g.edges[0].b), (0, 1));
+        assert!((g.edges[0].weight - 66.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertices_preserved_even_isolated() {
+        let l = layout(&[(0, 0), (500, 500)]);
+        let g = ConflictGraph::build(&l, &[0, 1], 80.0);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn subset_of_patterns_respected() {
+        let l = layout(&[(0, 0), (130, 0), (260, 0)]);
+        // only patterns 0 and 2 in the SP set: their gap is 196 -> no edge
+        let g = ConflictGraph::build(&l, &[0, 2], 80.0);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        // 4-cycle: bipartite
+        let l = layout(&[(0, 0), (130, 0), (0, 130), (130, 130)]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2, 3], 80.0);
+        assert!(g.is_bipartite());
+        // triangle: odd cycle
+        let l = layout(&[(0, 0), (128, 0), (64, 110)]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2], 80.0);
+        assert_eq!(g.edge_count(), 3, "need a full triangle for this test");
+        assert!(!g.is_bipartite());
+    }
+
+    #[test]
+    fn dpl_compatibility_wrapper() {
+        let good = layout(&[(0, 0), (130, 0), (260, 0)]);
+        assert!(is_dpl_compatible(&good, 80.0));
+        let bad = layout(&[(0, 0), (128, 0), (64, 110)]);
+        assert!(!is_dpl_compatible(&bad, 80.0));
+    }
+
+    #[test]
+    fn fig3_two_components() {
+        // two clusters far apart, like the paper's Fig. 3
+        let l = layout(&[
+            (0, 0),
+            (130, 0),
+            (65, 130),
+            (700, 700),
+            (830, 700),
+        ]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2, 3, 4], 80.0);
+        // cluster 1: edges 0-1 (66), 0-2 and 1-2 (diagonal ~ less than 80?)
+        // at least the two horizontal edges exist
+        assert!(g.edge_count() >= 2);
+        // no edge crosses the clusters
+        assert!(g
+            .edges
+            .iter()
+            .all(|e| (e.a < 3 && e.b < 3) || (e.a >= 3 && e.b >= 3)));
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # ldmo-decomp — layout decomposition candidate generation
+//!
+//! Implements Section III-A of the paper (Algorithm 1):
+//!
+//! 1. Classify patterns into `SP` / `VP` / `NP` (done by
+//!    [`ldmo_layout::classify`]).
+//! 2. Build the weighted conflict graph over `SP` patterns and solve a
+//!    minimum spanning tree per connected component ([`mst`]); two-coloring
+//!    each MST yields the *relative position relationship*: adjacent MST
+//!    vertices go to different masks, and the only remaining freedom per
+//!    component is a global flip.
+//! 3. Generate *n-wise covering arrays* ([`covering`], our substitute for
+//!    Microsoft PICT): a three-wise array over the component-flip factors
+//!    plus the `VP` patterns (`Arrs1`), a two-wise array over the `NP`
+//!    patterns (`Arrs2`).
+//! 4. Resolve the dual-mask symmetry by fixing pattern 0 on mask 0 and merge
+//!    duplicate rows ([`canonical`]), then combine
+//!    `mergedArrs1 × mergedArrs2` into full mask assignments ([`generate`]).
+//!
+//! ```
+//! use ldmo_layout::cells;
+//! use ldmo_decomp::{generate_candidates, DecompConfig};
+//!
+//! let layout = cells::cell("BUF_X1").expect("known cell");
+//! let candidates = generate_candidates(&layout, &DecompConfig::default());
+//! assert!(!candidates.is_empty());
+//! // every candidate assigns every pattern
+//! assert!(candidates.iter().all(|a| a.len() == layout.len()));
+//! ```
+
+pub mod canonical;
+pub mod covering;
+mod dsu;
+pub mod generate;
+pub mod graph;
+pub mod mst;
+pub mod oracle;
+
+pub use dsu::DisjointSets;
+pub use generate::{generate_candidates, DecompConfig};
+pub use graph::{is_dpl_compatible, ConflictGraph, Edge};
+pub use mst::{minimum_spanning_forest, two_color_forest, MstForest};

@@ -1,0 +1,211 @@
+//! Minimum spanning forest over the SP conflict graph (paper Fig. 3b) and
+//! its two-coloring.
+//!
+//! Kruskal's algorithm with the [`DisjointSets`] substrate produces one MST
+//! per connected component. Because the MST is a tree, it is bipartite: a
+//! BFS two-coloring assigns adjacent (= closest, most conflicting) patterns
+//! to different masks. The per-component color flip is the only remaining
+//! degree of freedom, which is exactly what Algorithm 1 exposes as one
+//! n-wise factor per component.
+
+use crate::dsu::DisjointSets;
+use crate::graph::{ConflictGraph, Edge};
+use std::collections::HashMap;
+
+/// A minimum spanning forest over a conflict graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MstForest {
+    /// The vertex set (pattern indices), ascending.
+    pub vertices: Vec<usize>,
+    /// Chosen tree edges, ascending by weight.
+    pub edges: Vec<Edge>,
+    /// `component[i]` is the component id (0-based, dense) of
+    /// `vertices[i]`. Isolated vertices get their own component.
+    pub component: Vec<usize>,
+    /// Number of connected components.
+    pub component_count: usize,
+}
+
+impl MstForest {
+    /// Total weight of the forest.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Vertices of each component, grouped and ascending.
+    pub fn component_members(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.component_count];
+        for (i, &v) in self.vertices.iter().enumerate() {
+            groups[self.component[i]].push(v);
+        }
+        groups
+    }
+}
+
+/// Runs Kruskal's algorithm on `graph`, returning the spanning forest.
+pub fn minimum_spanning_forest(graph: &ConflictGraph) -> MstForest {
+    let n = graph.vertices.len();
+    // map pattern index -> dense local index
+    let local: HashMap<usize, usize> = graph
+        .vertices
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let mut edges = graph.edges.clone();
+    edges.sort_by(|a, b| a.weight.total_cmp(&b.weight));
+    let mut dsu = DisjointSets::new(n);
+    let mut chosen = Vec::new();
+    for e in edges {
+        let (la, lb) = (local[&e.a], local[&e.b]);
+        if dsu.union(la, lb) {
+            chosen.push(e);
+        }
+    }
+    // dense component ids in order of first appearance
+    let mut component = vec![0usize; n];
+    let mut ids: HashMap<usize, usize> = HashMap::new();
+    for i in 0..n {
+        let root = dsu.find(i);
+        let next = ids.len();
+        let id = *ids.entry(root).or_insert(next);
+        component[i] = id;
+    }
+    MstForest {
+        vertices: graph.vertices.clone(),
+        edges: chosen,
+        component,
+        component_count: ids.len(),
+    }
+}
+
+/// Two-colors each tree of the forest by BFS: adjacent MST vertices receive
+/// different colors. Returns `(colors, component)` maps keyed by pattern
+/// index: `colors[&p]` is 0/1 with the smallest pattern of each component
+/// fixed at color 0, `component[&p]` is the component id.
+pub fn two_color_forest(forest: &MstForest) -> (HashMap<usize, u8>, HashMap<usize, usize>) {
+    let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+    for e in &forest.edges {
+        adj.entry(e.a).or_default().push(e.b);
+        adj.entry(e.b).or_default().push(e.a);
+    }
+    let mut colors: HashMap<usize, u8> = HashMap::new();
+    let mut component: HashMap<usize, usize> = HashMap::new();
+    for (cid, members) in forest.component_members().into_iter().enumerate() {
+        // members are ascending: root the BFS at the smallest pattern
+        let Some(&root) = members.first() else {
+            continue;
+        };
+        let mut queue = std::collections::VecDeque::new();
+        colors.insert(root, 0);
+        component.insert(root, cid);
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            let cu = colors[&u];
+            for &v in adj.get(&u).into_iter().flatten() {
+                if !colors.contains_key(&v) {
+                    colors.insert(v, 1 - cu);
+                    component.insert(v, cid);
+                    queue.push_back(v);
+                }
+            }
+        }
+        // isolated members unreachable by edges (shouldn't happen inside a
+        // component, but keep the maps total)
+        for &m in &members {
+            colors.entry(m).or_insert(0);
+            component.entry(m).or_insert(cid);
+        }
+    }
+    (colors, component)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+    use ldmo_layout::Layout;
+
+    fn layout(corners: &[(i32, i32)]) -> Layout {
+        Layout::new(
+            Rect::new(0, 0, 1200, 1200),
+            corners.iter().map(|&(x, y)| Rect::square(x, y, 64)).collect(),
+        )
+    }
+
+    #[test]
+    fn chain_mst_picks_n_minus_1_edges() {
+        // three contacts in a row, gaps 66 and 70: MST has both edges
+        let l = layout(&[(0, 0), (130, 0), (264, 0)]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2], 80.0);
+        let f = minimum_spanning_forest(&g);
+        assert_eq!(f.edges.len(), 2);
+        assert_eq!(f.component_count, 1);
+        assert!((f.total_weight() - (66.0 + 70.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_drops_heaviest_edge() {
+        // L-shaped triple where all three pairwise gaps are ≤ 95:
+        // MST keeps the two lightest edges (64 and 66), drops the 91.9
+        let l = layout(&[(0, 0), (128, 0), (0, 130)]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2], 95.0);
+        assert_eq!(g.edge_count(), 3);
+        let f = minimum_spanning_forest(&g);
+        assert_eq!(f.edges.len(), 2);
+        let max_w = f.edges.iter().map(|e| e.weight).fold(0.0, f64::max);
+        let dropped: Vec<&Edge> = g
+            .edges
+            .iter()
+            .filter(|e| !f.edges.iter().any(|fe| fe.a == e.a && fe.b == e.b))
+            .collect();
+        assert_eq!(dropped.len(), 1);
+        assert!(dropped[0].weight >= max_w);
+    }
+
+    #[test]
+    fn fig3_two_components_solved_independently() {
+        let l = layout(&[(0, 0), (130, 0), (700, 700), (830, 700), (960, 700)]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2, 3, 4], 80.0);
+        let f = minimum_spanning_forest(&g);
+        assert_eq!(f.component_count, 2);
+        assert_eq!(f.edges.len(), 3); // 1 + 2
+        let members = f.component_members();
+        assert_eq!(members[0], vec![0, 1]);
+        assert_eq!(members[1], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn two_coloring_separates_mst_neighbours() {
+        let l = layout(&[(0, 0), (130, 0), (264, 0)]);
+        let g = ConflictGraph::build(&l, &[0, 1, 2], 80.0);
+        let f = minimum_spanning_forest(&g);
+        let (colors, component) = two_color_forest(&f);
+        for e in &f.edges {
+            assert_ne!(colors[&e.a], colors[&e.b], "edge {e:?} monochromatic");
+        }
+        assert_eq!(colors[&0], 0, "smallest pattern anchored to color 0");
+        assert!(component.values().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn isolated_vertices_form_own_components() {
+        let l = layout(&[(0, 0), (500, 500)]);
+        let g = ConflictGraph::build(&l, &[0, 1], 80.0);
+        let f = minimum_spanning_forest(&g);
+        assert_eq!(f.component_count, 2);
+        let (colors, component) = two_color_forest(&f);
+        assert_eq!(colors[&0], 0);
+        assert_eq!(colors[&1], 0);
+        assert_ne!(component[&0], component[&1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ConflictGraph::default();
+        let f = minimum_spanning_forest(&g);
+        assert_eq!(f.component_count, 0);
+        let (colors, component) = two_color_forest(&f);
+        assert!(colors.is_empty() && component.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Exhaustive decomposition enumeration — the brute-force oracle.
+//!
+//! For small layouts (the paper's cells have ≤ 9 patterns) all `2^(n-1)`
+//! canonical mask assignments can be enumerated outright. The oracle serves
+//! two purposes:
+//!
+//! - tests verify that Algorithm 1's covering-array candidate set contains
+//!   assignments close to the global optimum of a given objective;
+//! - ablation benches quantify how much quality the n-wise reduction gives
+//!   up relative to exhaustive search (the paper's answer: almost none,
+//!   at exponentially lower cost).
+
+use crate::canonical::canonicalize;
+use ldmo_layout::{Layout, MaskAssignment};
+
+/// Enumerates every canonical double-patterning assignment of `n` patterns
+/// (pattern 0 fixed on mask 0), i.e. `2^(n-1)` rows; a single empty row
+/// for `n == 0`.
+///
+/// # Panics
+///
+/// Panics if `n > 24` (16M+ assignments is surely a bug upstream).
+pub fn enumerate_assignments(n: usize) -> Vec<MaskAssignment> {
+    assert!(n <= 24, "exhaustive enumeration beyond 24 patterns");
+    if n == 0 {
+        return vec![vec![]];
+    }
+    (0..(1usize << (n - 1)))
+        .map(|bits| {
+            let mut row = vec![0u8; n];
+            for (i, slot) in row.iter_mut().enumerate().skip(1) {
+                *slot = ((bits >> (i - 1)) & 1) as u8;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Finds the assignment minimizing `objective` by exhaustive search.
+/// Returns `(assignment, objective value)`.
+///
+/// # Panics
+///
+/// Panics if the layout is empty or has more than 24 patterns.
+pub fn exhaustive_best<F>(layout: &Layout, mut objective: F) -> (MaskAssignment, f64)
+where
+    F: FnMut(&Layout, &[u8]) -> f64,
+{
+    assert!(!layout.is_empty(), "cannot search an empty layout");
+    let mut best: Option<(MaskAssignment, f64)> = None;
+    for a in enumerate_assignments(layout.len()) {
+        let v = objective(layout, &a);
+        if best.as_ref().map_or(true, |(_, bv)| v < *bv) {
+            best = Some((a, v));
+        }
+    }
+    best.expect("at least one assignment")
+}
+
+/// A cheap geometric objective: the sum over same-mask pairs of
+/// `max(0, interaction_range - gap)²` — a proxy for optical conflict that
+/// needs no simulation. Used by oracle-based tests.
+pub fn proximity_conflict_objective(layout: &Layout, assignment: &[u8]) -> f64 {
+    let range = 98.0; // the paper's nmax: beyond it, no interaction
+    let gaps = layout.gap_matrix();
+    let mut total = 0.0;
+    for i in 0..layout.len() {
+        for j in (i + 1)..layout.len() {
+            if assignment[i] == assignment[j] {
+                let overlap = (range - gaps[i][j]).max(0.0);
+                total += overlap * overlap;
+            }
+        }
+    }
+    total
+}
+
+/// Verifies that `candidates` contains an assignment whose objective is
+/// within `tolerance` (relative) of the exhaustive optimum; returns
+/// `(best candidate value, exhaustive optimum)`.
+pub fn candidate_set_gap<F>(
+    layout: &Layout,
+    candidates: &[MaskAssignment],
+    mut objective: F,
+) -> (f64, f64)
+where
+    F: FnMut(&Layout, &[u8]) -> f64,
+{
+    let (_, optimum) = exhaustive_best(layout, &mut objective);
+    let best_candidate = candidates
+        .iter()
+        .map(|c| {
+            let mut canonical = c.clone();
+            canonicalize(&mut canonical);
+            objective(layout, &canonical)
+        })
+        .fold(f64::INFINITY, f64::min);
+    (best_candidate, optimum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_candidates, DecompConfig};
+    use ldmo_geom::Rect;
+    use ldmo_layout::cells;
+
+    #[test]
+    fn enumeration_counts() {
+        assert_eq!(enumerate_assignments(0).len(), 1);
+        assert_eq!(enumerate_assignments(1), vec![vec![0]]);
+        assert_eq!(enumerate_assignments(4).len(), 8);
+        // all canonical, all unique
+        let rows = enumerate_assignments(5);
+        assert!(rows.iter().all(|r| r[0] == 0));
+        let set: std::collections::HashSet<_> = rows.iter().cloned().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn exhaustive_finds_the_obvious_split() {
+        // two close patterns: the optimum must separate them
+        let layout = Layout::new(
+            Rect::new(0, 0, 448, 448),
+            vec![Rect::square(40, 40, 64), Rect::square(160, 40, 64)],
+        );
+        let (best, value) = exhaustive_best(&layout, proximity_conflict_objective);
+        assert_eq!(best, vec![0, 1]);
+        assert_eq!(value, 0.0);
+    }
+
+    #[test]
+    fn objective_counts_only_same_mask_pairs() {
+        let layout = Layout::new(
+            Rect::new(0, 0, 448, 448),
+            vec![Rect::square(40, 40, 64), Rect::square(160, 40, 64)],
+        );
+        assert_eq!(proximity_conflict_objective(&layout, &[0, 1]), 0.0);
+        assert!(proximity_conflict_objective(&layout, &[0, 0]) > 0.0);
+    }
+
+    #[test]
+    fn algorithm1_candidates_near_exhaustive_optimum() {
+        // the paper's claim behind the n-wise reduction: the covering-array
+        // candidate set retains (near-)optimal decompositions at a tiny
+        // fraction of the exhaustive count
+        for (name, layout) in cells::all_cells() {
+            let candidates = generate_candidates(&layout, &DecompConfig::default());
+            let (best, optimum) =
+                candidate_set_gap(&layout, &candidates, proximity_conflict_objective);
+            assert!(
+                best <= optimum * 1.3 + 1e-9,
+                "{name}: candidate best {best} vs optimum {optimum} \
+                 ({} candidates vs {} exhaustive)",
+                candidates.len(),
+                1usize << (layout.len() - 1)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond 24")]
+    fn runaway_enumeration_rejected() {
+        let _ = enumerate_assignments(25);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # ldmo-geom — geometry and raster substrate
+//!
+//! Fixed-point planar geometry (1 unit = 1 nm) and dense `f32` raster grids
+//! used everywhere in the LDMO reproduction: layouts are sets of rectangular
+//! contact patterns, lithography operates on rasterized grids, and EPE is
+//! measured against rectangle edges.
+//!
+//! The two central types are [`Rect`] (an axis-aligned rectangle in nm) and
+//! [`Grid`] (a row-major `f32` image whose pixels are 1 nm² each).
+//!
+//! ```
+//! use ldmo_geom::{Rect, Grid};
+//!
+//! let r = Rect::new(10, 10, 40, 40);
+//! assert_eq!(r.width(), 30);
+//! let mut g = Grid::zeros(64, 64);
+//! g.fill_rect(&r, 1.0);
+//! assert_eq!(g.get(20, 20), 1.0);
+//! assert_eq!(g.get(5, 5), 0.0);
+//! ```
+
+mod grid;
+mod point;
+mod rect;
+
+pub use grid::Grid;
+pub use point::{Point, Vec2};
+pub use rect::Rect;
+
+/// Errors produced by geometry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A rectangle had non-positive width or height.
+    EmptyRect {
+        /// Offending coordinates `(x0, y0, x1, y1)`.
+        coords: (i32, i32, i32, i32),
+    },
+    /// Grid dimensions mismatched for an element-wise operation.
+    ShapeMismatch {
+        /// Left operand shape `(w, h)`.
+        left: (usize, usize),
+        /// Right operand shape `(w, h)`.
+        right: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeomError::EmptyRect { coords } => {
+                write!(f, "rectangle {coords:?} has non-positive extent")
+            }
+            GeomError::ShapeMismatch { left, right } => {
+                write!(f, "grid shapes differ: {left:?} vs {right:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

@@ -1,0 +1,87 @@
+//! Calibration probe: printability of dense same-mask configurations vs
+//! decomposed ones, across optics parameters.
+use ldmo_geom::Rect;
+use ldmo_ilt::{optimize, IltConfig};
+use ldmo_layout::Layout;
+
+fn run(name: &str, layout: &Layout, a: &[u8], b: &[u8], cfg: &IltConfig) {
+    let bad = optimize(layout, a, cfg);
+    let good = optimize(layout, b, cfg);
+    println!(
+        "{name:>14} | bad: epe={:>3} viol={} | good: epe={:>3} viol={}",
+        bad.epe_violations(),
+        bad.violations.count(),
+        good.epe_violations(),
+        good.violations.count()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sigma_p: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40.0);
+    let sigma_s: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(75.0);
+    let mrc: i32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let size: i32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let mut cfg = IltConfig::default();
+    cfg.litho.sigma_primary = sigma_p;
+    cfg.litho.sigma_secondary = sigma_s;
+    cfg.mrc_expand_nm = mrc;
+    println!("== sigma=({sigma_p},{sigma_s}) mrc={mrc} size={size}");
+
+    let win = Rect::new(0, 0, 448, 448);
+    // isolated contact
+    let iso = Layout::new(win, vec![Rect::square(192, 192, size)]);
+    let out = optimize(&iso, &[0], &cfg);
+    println!("      isolated | epe={} viol={}", out.epe_violations(), out.violations.count());
+
+    for gap in [56, 68, 80, 92] {
+        let pitch = size + gap;
+        // pair
+        let pair = Layout::new(win, vec![
+            Rect::square(120, 192, size), Rect::square(120 + pitch, 192, size)]);
+        run(&format!("pair g={gap}"), &pair, &[0, 0], &[0, 1], &cfg);
+        // row of 3
+        let row3 = Layout::new(win, vec![
+            Rect::square(60, 192, size), Rect::square(60 + pitch, 192, size),
+            Rect::square(60 + 2 * pitch, 192, size)]);
+        run(&format!("row3 g={gap}"), &row3, &[0, 0, 0], &[0, 1, 0], &cfg);
+    }
+    // 3x3 grid at gap 68 (DFF-like)
+    let g = 68;
+    let pitch = size + g;
+    let mut pats = Vec::new();
+    for r in 0..3 {
+        for c in 0..3 {
+            pats.push(Rect::square(60 + c * pitch, 60 + r * pitch, size));
+        }
+    }
+    let grid9 = Layout::new(win, pats.clone());
+    let all0 = vec![0u8; 9];
+    let checker: Vec<u8> = (0..9).map(|i| ((i / 3 + i % 3) % 2) as u8).collect();
+    run("grid9 g=68", &grid9, &all0, &checker, &cfg);
+
+    // 2x2 grid, bad vs good
+    for g in [56, 64, 72] {
+        let pitch = size + g;
+        let quad = Layout::new(win, vec![
+            Rect::square(120, 120, size), Rect::square(120 + pitch, 120, size),
+            Rect::square(120, 120 + pitch, size), Rect::square(120 + pitch, 120 + pitch, size)]);
+        run(&format!("quad g={g}"), &quad, &[0, 0, 0, 0], &[0, 1, 1, 0], &cfg);
+    }
+
+    // does AbortOnBridge ever fire on dense same-mask clusters?
+    let mut acfg = cfg.clone();
+    acfg.policy = ldmo_ilt::ViolationPolicy::AbortOnViolation;
+    for g in [50, 56, 68] {
+        let pitch = size + g;
+        let quad = Layout::new(win, vec![
+            Rect::square(120, 120, size), Rect::square(120 + pitch, 120, size),
+            Rect::square(120, 120 + pitch, size), Rect::square(120 + pitch, 120 + pitch, size)]);
+        let out = optimize(&quad, &[0, 0, 0, 0], &acfg);
+        println!("abort quad g={g}: aborted_at={:?} viol={} epe={}",
+            out.aborted_at, out.violations.count(), out.epe_violations());
+    }
+    let out9 = optimize(&grid9, &all0, &acfg);
+    println!("abort grid9 g=68: aborted_at={:?} viol={} epe={}",
+        out9.aborted_at, out9.violations.count(), out9.epe_violations());
+}

@@ -1,0 +1,25 @@
+//! Measure one full ILT run at default settings.
+use ldmo_geom::Rect;
+use ldmo_ilt::{optimize, IltConfig};
+use ldmo_layout::Layout;
+use std::time::Instant;
+
+fn main() {
+    let layout = Layout::new(
+        Rect::new(0, 0, 448, 448),
+        vec![
+            Rect::square(120, 120, 64),
+            Rect::square(248, 120, 64),
+            Rect::square(120, 248, 64),
+            Rect::square(248, 248, 64),
+        ],
+    );
+    let cfg = IltConfig::default();
+    let t = Instant::now();
+    let out = optimize(&layout, &[0, 1, 1, 0], &cfg);
+    println!(
+        "one ILT run (29 iters): {:.3}s, epe={} ",
+        t.elapsed().as_secs_f64(),
+        out.epe_violations()
+    );
+}

@@ -1,0 +1,547 @@
+//! The ILT optimization loop (paper Section III-C).
+//!
+//! [`IltSession`] is the resumable core: it owns the mask parameters and
+//! advances one gradient iteration at a time, which both the paper's flow
+//! (violation checks every 3 iterations) and the ICCAD'17 unified baseline
+//! (greedy pruning of partially optimized candidates) are built on.
+//! [`optimize`] is the one-shot convenience wrapper.
+
+use crate::gradient::{forward_pair, l2_gradient_pair};
+use ldmo_geom::Grid;
+use ldmo_layout::Layout;
+use ldmo_litho::{
+    combine_double_pattern, detect_violations, measure_epe, simulate_print, EpeReport, KernelBank,
+    LithoConfig, ViolationReport,
+};
+
+/// How the engine reacts to print violations detected mid-optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViolationPolicy {
+    /// Run all iterations regardless; report violations only at the end.
+    /// Used when labeling training data (the score needs the final count).
+    #[default]
+    Run,
+    /// Abort as soon as a check (every `check_interval` iterations, after
+    /// `abort_warmup`) finds a print violation — the Fig. 2 feedback edge
+    /// that sends the flow back to decomposition selection. A violation is
+    /// a bridge, a missing pattern, a *saturated* EPE site (no printed
+    /// contour within ±2× the EPE threshold of a target edge), or an EPE
+    /// violation count that failed to improve since the previous check —
+    /// all signs that the decomposition, not the mask, is at fault.
+    AbortOnViolation,
+}
+
+/// ILT engine configuration. Defaults are the paper's constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IltConfig {
+    /// Mask relaxation steepness `θm` (paper Eq. 1: 8).
+    pub theta_m: f32,
+    /// Gradient-descent step size applied to the max-normalized gradient
+    /// (each iteration moves the most-active parameter by exactly this much,
+    /// which makes convergence insensitive to the objective's scale).
+    pub step_size: f32,
+    /// Mask-rule-check corridor, nm: ILT may grow a mask feature at most
+    /// this far beyond its drawn edge (shrinking inward is unrestricted).
+    /// Without this bound a gradient ILT can "cheat" sub-resolution
+    /// spacings with disconnected assist dots no mask shop would accept.
+    pub mrc_expand_nm: i32,
+    /// Maximum iteration count (paper: 29).
+    pub max_iterations: usize,
+    /// Violation-check cadence (paper: every 3 iterations).
+    pub check_interval: usize,
+    /// Iterations to skip before violation checks can abort: early masks
+    /// have not converged yet and transiently under-print, which is not a
+    /// decomposition defect.
+    pub abort_warmup: usize,
+    /// Violation reaction policy.
+    pub policy: ViolationPolicy,
+    /// Optical/resist model.
+    pub litho: LithoConfig,
+    /// Whether to record per-iteration EPE (needed by Fig. 1(b); costs one
+    /// EPE measurement per iteration).
+    pub record_epe_trajectory: bool,
+}
+
+impl Default for IltConfig {
+    fn default() -> Self {
+        IltConfig {
+            theta_m: 8.0,
+            step_size: 0.5,
+            mrc_expand_nm: 28,
+            max_iterations: 29,
+            check_interval: 3,
+            abort_warmup: 9,
+            policy: ViolationPolicy::Run,
+            litho: LithoConfig::default(),
+            record_epe_trajectory: false,
+        }
+    }
+}
+
+/// Statistics of one ILT iteration (`Fig. 1(b)` plots `epe_violations`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// L2 error before the update of this iteration.
+    pub l2: f64,
+    /// EPE violation count (only populated when
+    /// [`IltConfig::record_epe_trajectory`] is set; otherwise `None`).
+    pub epe_violations: Option<usize>,
+}
+
+/// Result of one ILT run.
+#[derive(Debug, Clone)]
+pub struct IltOutcome {
+    /// Final binarized masks (mask 0, mask 1), at the litho raster scale.
+    pub masks: [Grid; 2],
+    /// Final printed image from the binarized masks.
+    pub printed: Grid,
+    /// EPE report of the final print against the layout.
+    pub epe: EpeReport,
+    /// Final L2 error (Definition 2), binarized-mask print vs target.
+    pub l2: f64,
+    /// Print violations of the final print.
+    pub violations: ViolationReport,
+    /// Per-iteration stats.
+    pub trajectory: Vec<IterationStats>,
+    /// The iteration at which an abort-policy check fired, if any.
+    pub aborted_at: Option<usize>,
+    /// Iterations actually executed.
+    pub iterations_run: usize,
+}
+
+impl IltOutcome {
+    /// The paper's headline metric: the number of EPE violations.
+    pub fn epe_violations(&self) -> usize {
+        self.epe.violations()
+    }
+
+    /// Whether the run finished without a violation abort and the final
+    /// print is violation-free.
+    pub fn is_clean(&self) -> bool {
+        self.aborted_at.is_none() && self.violations.is_clean()
+    }
+}
+
+/// A resumable ILT optimization of one (layout, decomposition) pair.
+pub struct IltSession {
+    patterns: Vec<ldmo_geom::Rect>,
+    cfg: IltConfig,
+    bank: KernelBank,
+    target: Grid,
+    corridors: [Grid; 2],
+    p: [Grid; 2],
+    iterations_done: usize,
+    last_l2: f64,
+}
+
+impl IltSession {
+    /// Prepares a session for `layout` under `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != layout.len()` or contains mask
+    /// indices other than 0/1.
+    pub fn new(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> Self {
+        assert_eq!(
+            assignment.len(),
+            layout.len(),
+            "assignment must cover every pattern"
+        );
+        assert!(
+            assignment.iter().all(|&m| m < 2),
+            "double patterning uses masks 0 and 1"
+        );
+        let bank = KernelBank::paper_bank(&cfg.litho);
+        let scale = cfg.litho.nm_per_px;
+        let target = layout.rasterize_target(scale);
+        let m1 = layout
+            .rasterize_mask(assignment, 0, scale)
+            .expect("assignment length checked");
+        let m2 = layout
+            .rasterize_mask(assignment, 1, scale)
+            .expect("assignment length checked");
+        let corridors = [
+            layout
+                .rasterize_mask_expanded(assignment, 0, scale, cfg.mrc_expand_nm)
+                .expect("assignment length checked"),
+            layout
+                .rasterize_mask_expanded(assignment, 1, scale, cfg.mrc_expand_nm)
+                .expect("assignment length checked"),
+        ];
+        // Eq. 1 initialization: P = ±p0 puts M near the drawn mask while
+        // keeping sigmoid'(θm P) large enough for gradient flow.
+        let p0 = 0.25f32;
+        let p = [
+            m1.map(|v| if v > 0.5 { p0 } else { -p0 }),
+            m2.map(|v| if v > 0.5 { p0 } else { -p0 }),
+        ];
+        IltSession {
+            patterns: layout.patterns().to_vec(),
+            cfg: cfg.clone(),
+            bank,
+            target,
+            corridors,
+            p,
+            iterations_done: 0,
+            last_l2: f64::NAN,
+        }
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations_done
+    }
+
+    /// L2 error observed at the start of the most recent iteration
+    /// (`NaN` before the first [`IltSession::step_one`]).
+    pub fn last_l2(&self) -> f64 {
+        self.last_l2
+    }
+
+    /// Runs one gradient iteration; returns the pre-update L2 error.
+    pub fn step_one(&mut self) -> f64 {
+        let fwd = forward_pair(
+            &self.p[0],
+            &self.p[1],
+            &self.target,
+            self.cfg.theta_m,
+            &self.bank,
+            &self.cfg.litho,
+        );
+        let (g1, g2) = l2_gradient_pair(
+            &fwd,
+            &self.target,
+            self.cfg.theta_m,
+            &self.bank,
+            &self.cfg.litho,
+        );
+        descend(&mut self.p[0], &g1, self.cfg.step_size);
+        descend(&mut self.p[1], &g2, self.cfg.step_size);
+        clamp_to_corridor(&mut self.p[0], &self.corridors[0]);
+        clamp_to_corridor(&mut self.p[1], &self.corridors[1]);
+        self.iterations_done += 1;
+        self.last_l2 = fwd.l2;
+        fwd.l2
+    }
+
+    /// Runs `n` further iterations (no violation checks).
+    pub fn step(&mut self, n: usize) {
+        for _ in 0..n {
+            let _ = self.step_one();
+        }
+    }
+
+    /// The combined print of the current *binarized* masks — what
+    /// manufacturing would produce right now.
+    pub fn current_print(&self) -> Grid {
+        let m1 = self.p[0].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let m2 = self.p[1].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let t1 = simulate_print(&m1, &self.bank, &self.cfg.litho);
+        let t2 = simulate_print(&m2, &self.bank, &self.cfg.litho);
+        combine_double_pattern(&t1, &t2)
+    }
+
+    /// EPE report of the current print.
+    pub fn current_epe(&self) -> EpeReport {
+        measure_epe(&self.current_print(), &self.patterns, &self.cfg.litho)
+    }
+
+    /// Full evaluation of the current state (does not consume the session).
+    pub fn snapshot(
+        &self,
+        trajectory: Vec<IterationStats>,
+        aborted_at: Option<usize>,
+    ) -> IltOutcome {
+        let m1 = self.p[0].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let m2 = self.p[1].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let t1 = simulate_print(&m1, &self.bank, &self.cfg.litho);
+        let t2 = simulate_print(&m2, &self.bank, &self.cfg.litho);
+        let printed = combine_double_pattern(&t1, &t2);
+        let epe = measure_epe(&printed, &self.patterns, &self.cfg.litho);
+        let l2 = printed.l2_dist_sq(&self.target).expect("shapes match");
+        let violations = detect_violations(
+            &printed,
+            &self.patterns,
+            self.cfg.litho.print_level,
+            self.cfg.litho.nm_per_px,
+        );
+        IltOutcome {
+            masks: [m1, m2],
+            printed,
+            epe,
+            l2,
+            violations,
+            trajectory,
+            aborted_at,
+            iterations_run: self.iterations_done,
+        }
+    }
+
+    /// Finishes the session into an outcome with an empty trajectory.
+    pub fn into_outcome(self) -> IltOutcome {
+        self.snapshot(Vec::new(), None)
+    }
+}
+
+/// Runs double-patterning ILT on `layout` under the decomposition
+/// `assignment` (pattern `i` → mask `assignment[i]`).
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != layout.len()` or contains values other
+/// than 0/1.
+pub fn optimize(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> IltOutcome {
+    let mut session = IltSession::new(layout, assignment, cfg);
+    let mut trajectory = Vec::with_capacity(cfg.max_iterations);
+    let mut aborted_at = None;
+    let mut last_check_epe: Option<usize> = None;
+    for iter in 0..cfg.max_iterations {
+        let l2 = session.step_one();
+        let epe_violations = cfg
+            .record_epe_trajectory
+            .then(|| session.current_epe().violations());
+        trajectory.push(IterationStats {
+            iteration: iter,
+            l2,
+            epe_violations,
+        });
+
+        if cfg.policy == ViolationPolicy::AbortOnViolation
+            && iter + 1 >= cfg.abort_warmup
+            && (iter + 1) % cfg.check_interval.max(1) == 0
+        {
+            let printed = session.current_print();
+            let report = detect_violations(
+                &printed,
+                &session.patterns,
+                cfg.litho.print_level,
+                cfg.litho.nm_per_px,
+            );
+            let epe = measure_epe(&printed, &session.patterns, &cfg.litho);
+            let saturation = 2.0 * cfg.litho.epe_threshold_nm - 1e-6;
+            let saturated = epe.sites.iter().any(|s| s.epe_nm.abs() >= saturation);
+            let v = epe.violations();
+            let stagnant = v > 0 && last_check_epe.is_some_and(|prev| v >= prev);
+            last_check_epe = Some(v);
+            if report.count() > 0 || saturated || stagnant {
+                aborted_at = Some(iter);
+                break;
+            }
+        }
+    }
+    session.snapshot(trajectory, aborted_at)
+}
+
+fn descend(p: &mut Grid, g: &Grid, step: f32) {
+    let max_abs = g
+        .as_slice()
+        .iter()
+        .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    if max_abs <= f32::EPSILON {
+        return;
+    }
+    let scale = step / max_abs;
+    let ps = p.as_mut_slice();
+    let gs = g.as_slice();
+    for (v, &d) in ps.iter_mut().zip(gs) {
+        *v -= scale * d;
+    }
+}
+
+/// Enforces the MRC corridor: parameters outside it are pinned shut.
+fn clamp_to_corridor(p: &mut Grid, corridor: &Grid) {
+    let ps = p.as_mut_slice();
+    let cs = corridor.as_slice();
+    for (v, &c) in ps.iter_mut().zip(cs) {
+        if c < 0.5 {
+            *v = -1.0;
+        }
+    }
+}
+
+/// A convenience forward-only evaluation of a decomposition *without*
+/// optimization: rasterize the drawn masks, print, and measure. Useful as
+/// the "iteration 0" point of trajectories and as a cheap lower bound.
+pub fn evaluate_unoptimized(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> IltOutcome {
+    let session = IltSession::new(layout, assignment, cfg);
+    session.into_outcome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    fn two_contact_layout(gap: i32) -> Layout {
+        let size = 64;
+        Layout::new(
+            Rect::new(0, 0, 448, 448),
+            vec![
+                Rect::square(120, 192, size),
+                Rect::square(120 + size + gap, 192, size),
+            ],
+        )
+    }
+
+    /// 2×2 contact grid at the given gap: the dense 2-D structure where a
+    /// same-mask decomposition measurably fails under our optics.
+    fn quad_layout(gap: i32) -> Layout {
+        let size = 64;
+        let pitch = size + gap;
+        Layout::new(
+            Rect::new(0, 0, 448, 448),
+            vec![
+                Rect::square(120, 120, size),
+                Rect::square(120 + pitch, 120, size),
+                Rect::square(120, 120 + pitch, size),
+                Rect::square(120 + pitch, 120 + pitch, size),
+            ],
+        )
+    }
+
+    fn fast_cfg() -> IltConfig {
+        IltConfig::default()
+    }
+
+    #[test]
+    fn isolated_contacts_converge_to_clean_print() {
+        // two far-apart contacts split across masks: ILT must reach zero
+        // EPE violations and a clean print within the 29-iteration budget
+        let layout = two_contact_layout(160);
+        let out = optimize(&layout, &[0, 1], &fast_cfg());
+        assert!(
+            out.violations.is_clean(),
+            "violations: {:?}",
+            out.violations
+        );
+        assert_eq!(
+            out.epe_violations(),
+            0,
+            "EPE violations remain: max |EPE| = {:.1}nm",
+            out.epe.max_abs_nm()
+        );
+    }
+
+    #[test]
+    fn optimization_reduces_l2() {
+        let layout = two_contact_layout(160);
+        let out = optimize(&layout, &[0, 1], &fast_cfg());
+        let first = out.trajectory.first().expect("trajectory").l2;
+        let last = out.trajectory.last().expect("trajectory").l2;
+        assert!(last < first * 0.8, "L2 did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn bad_decomposition_is_worse_than_good() {
+        // a dense 2×2 SP cluster (60 nm gaps): the all-same-mask assignment
+        // must end up clearly worse than the checkerboard
+        let layout = quad_layout(60);
+        let good = optimize(&layout, &[0, 1, 1, 0], &fast_cfg());
+        let bad = optimize(&layout, &[0, 0, 0, 0], &fast_cfg());
+        let good_score = good.epe_violations() + 100 * good.violations.count();
+        let bad_score = bad.epe_violations() + 100 * bad.violations.count();
+        assert!(
+            bad_score > good_score,
+            "bad {bad_score} vs good {good_score} (bad epe {}, viol {:?})",
+            bad.epe_violations(),
+            bad.violations
+        );
+    }
+
+    #[test]
+    fn abort_policy_fires_on_hopeless_decomposition() {
+        // dense 2×2 cluster on one mask cannot print; the mid-run violation
+        // check (bridge / missing / saturated EPE / stagnation) must abort
+        let layout = quad_layout(56);
+        let cfg = IltConfig {
+            policy: ViolationPolicy::AbortOnViolation,
+            ..fast_cfg()
+        };
+        let out = optimize(&layout, &[0, 0, 0, 0], &cfg);
+        assert!(
+            out.aborted_at.is_some(),
+            "hopeless decomposition was not aborted (epe = {}, viol = {:?})",
+            out.epe_violations(),
+            out.violations
+        );
+    }
+
+    #[test]
+    fn abort_policy_spares_good_decomposition() {
+        let layout = quad_layout(56);
+        let cfg = IltConfig {
+            policy: ViolationPolicy::AbortOnViolation,
+            ..fast_cfg()
+        };
+        let out = optimize(&layout, &[0, 1, 1, 0], &cfg);
+        assert_eq!(out.aborted_at, None, "good decomposition wrongly aborted");
+    }
+
+    #[test]
+    fn run_policy_never_aborts() {
+        let layout = two_contact_layout(56);
+        let out = optimize(&layout, &[0, 0], &fast_cfg());
+        assert_eq!(out.aborted_at, None);
+        assert_eq!(out.iterations_run, fast_cfg().max_iterations);
+    }
+
+    #[test]
+    fn trajectory_records_epe_when_requested() {
+        let layout = two_contact_layout(160);
+        let cfg = IltConfig {
+            record_epe_trajectory: true,
+            max_iterations: 6,
+            ..fast_cfg()
+        };
+        let out = optimize(&layout, &[0, 1], &cfg);
+        assert_eq!(out.trajectory.len(), 6);
+        assert!(out.trajectory.iter().all(|s| s.epe_violations.is_some()));
+    }
+
+    #[test]
+    fn unoptimized_evaluation_is_fast_baseline() {
+        let layout = two_contact_layout(160);
+        let out = evaluate_unoptimized(&layout, &[0, 1], &fast_cfg());
+        assert_eq!(out.iterations_run, 0);
+        assert!(out.trajectory.is_empty());
+    }
+
+    #[test]
+    fn session_stepping_matches_one_shot() {
+        // driving a session manually for max_iterations must land on the
+        // same result as optimize() with the Run policy
+        let layout = two_contact_layout(120);
+        let cfg = IltConfig {
+            max_iterations: 6,
+            ..fast_cfg()
+        };
+        let one_shot = optimize(&layout, &[0, 1], &cfg);
+        let mut session = IltSession::new(&layout, &[0, 1], &cfg);
+        session.step(6);
+        let stepped = session.into_outcome();
+        assert_eq!(stepped.iterations_run, one_shot.iterations_run);
+        assert!((stepped.l2 - one_shot.l2).abs() < 1e-9);
+        assert_eq!(stepped.epe_violations(), one_shot.epe_violations());
+    }
+
+    #[test]
+    fn session_l2_decreases_over_steps() {
+        let layout = two_contact_layout(120);
+        let mut session = IltSession::new(&layout, &[0, 1], &fast_cfg());
+        let first = session.step_one();
+        session.step(8);
+        let later = session.step_one();
+        assert!(later < first, "L2 {first} -> {later}");
+        assert_eq!(session.iterations(), 10);
+        assert!(session.last_l2().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment must cover")]
+    fn wrong_assignment_length_panics() {
+        let layout = two_contact_layout(160);
+        let _ = optimize(&layout, &[0], &fast_cfg());
+    }
+}

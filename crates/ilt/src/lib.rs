@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! # ldmo-ilt — inverse lithography for double patterning
+//!
+//! The gradient-descent ILT engine of the paper's Section II/III-C:
+//!
+//! - masks are relaxed through the sigmoid of Eq. 1,
+//!   `M_i = sigmoid(θm · P_i)` with `θm = 8`, so the unbounded parameters
+//!   `P_i` can be optimized by plain gradient descent;
+//! - the printed image is formed by the [`ldmo_litho`] forward model
+//!   (aerial intensity → Eq. 2 resist → Eq. 3 double-pattern union);
+//! - each iteration descends the L2 error `‖T − T′‖²`
+//!   (`P_i ← P_i − stepSize · g`);
+//! - every `check_interval = 3` iterations the engine looks for print
+//!   violations and can abort so the caller selects another decomposition
+//!   (Fig. 2's feedback edge);
+//! - the iteration cap is 29, as in the paper.
+//!
+//! The per-iteration [`IterationStats`] trajectory is what Fig. 1(b) plots.
+//!
+//! ```no_run
+//! use ldmo_geom::Rect;
+//! use ldmo_layout::Layout;
+//! use ldmo_ilt::{optimize, IltConfig};
+//!
+//! let layout = Layout::new(
+//!     Rect::new(0, 0, 448, 448),
+//!     vec![Rect::square(80, 80, 64), Rect::square(240, 240, 64)],
+//! );
+//! let outcome = optimize(&layout, &[0, 1], &IltConfig::default());
+//! println!("EPE violations: {}", outcome.epe.violations());
+//! ```
+
+mod engine;
+mod gradient;
+pub mod multi;
+pub mod rule_opc;
+
+pub use engine::{
+    IltSession,
+    evaluate_unoptimized, optimize, IltConfig, IltOutcome, IterationStats, ViolationPolicy,
+};
+pub use gradient::{forward_multi, l2_gradient_multi, l2_gradient_pair, MultiForward, PairForward};
+pub use multi::{greedy_coloring, optimize_multi, MultiIltOutcome};

@@ -1,0 +1,162 @@
+//! Named contact-layout templates resembling NanGate 45 nm standard cells.
+//!
+//! The paper's Fig. 7 compares flows on `AOI211_X1`, `NAND3_X2` and
+//! `BUF_X1`; Table I runs 13 testcases from the same library. These
+//! templates are deterministic contact arrangements whose spacing structure
+//! (dense SP rows, VP row-to-row coupling, isolated NP contacts) mirrors the
+//! contact layer of the corresponding cells.
+//!
+//! All cells live in the standard 448 × 448 nm window with 64 nm contacts.
+
+use crate::Layout;
+use ldmo_geom::Rect;
+
+const WINDOW: Rect = Rect {
+    x0: 0,
+    y0: 0,
+    x1: 448,
+    y1: 448,
+};
+const SIZE: i32 = 64;
+
+fn cell_from(corners: &[(i32, i32)]) -> Layout {
+    Layout::new(
+        WINDOW,
+        corners
+            .iter()
+            .map(|&(x, y)| Rect::square(x, y, SIZE))
+            .collect(),
+    )
+}
+
+/// Names of all available cell templates.
+pub fn names() -> &'static [&'static str] {
+    &[
+        "INV_X1", "BUF_X1", "NAND2_X1", "NAND3_X2", "NOR2_X1", "AOI211_X1", "OAI21_X1", "DFF_X1",
+    ]
+}
+
+/// Returns the contact layout of the named cell, or `None` for unknown names.
+///
+/// ```
+/// use ldmo_layout::cells;
+///
+/// let aoi = cells::cell("AOI211_X1").expect("known cell");
+/// assert_eq!(aoi.len(), 8);
+/// assert!(cells::cell("XOR99_X9").is_none());
+/// ```
+pub fn cell(name: &str) -> Option<Layout> {
+    let corners: &[(i32, i32)] = match name {
+        // SP pair (56 nm) plus one VP contact above it (86 nm)
+        "INV_X1" => &[(40, 40), (160, 40), (40, 190)],
+        // two SP pairs stacked at VP distance (88 nm): two MST components
+        "BUF_X1" => &[(40, 40), (160, 40), (40, 192), (160, 192)],
+        // dense 3-chain (56 nm SP gaps) plus two VP contacts below
+        "NAND2_X1" => &[(40, 40), (160, 40), (280, 40), (100, 186), (250, 186)],
+        // 3-chain + SP pair + a VP contact + an NP contact
+        "NAND3_X2" => &[
+            (40, 40),
+            (160, 40),
+            (280, 40),
+            (70, 186),
+            (190, 186),
+            (130, 334),
+            (344, 334),
+        ],
+        // 2×2 SP cluster (60 nm, a 4-cycle) with a far NP contact
+        "NOR2_X1" => &[(40, 40), (164, 40), (40, 164), (164, 164), (330, 330)],
+        // the paper's Fig. 7(a) cell: two SP pairs in opposite corners,
+        // four VP contacts coupling them — 8 contacts, rich candidate set
+        "AOI211_X1" => &[
+            (40, 40),
+            (160, 40),
+            (40, 344),
+            (160, 344),
+            (100, 192),
+            (314, 40),
+            (314, 192),
+            (314, 344),
+        ],
+        // 3-chain plus three VP contacts
+        "OAI21_X1" => &[
+            (40, 40),
+            (160, 40),
+            (280, 40),
+            (90, 186),
+            (250, 186),
+            (40, 344),
+        ],
+        // 3×3 contact grid, 68 nm gaps both ways: the single-candidate
+        // stress case (bipartite conflict graph, forced checkerboard)
+        "DFF_X1" => &[
+            (60, 60),
+            (192, 60),
+            (324, 60),
+            (60, 192),
+            (192, 192),
+            (324, 192),
+            (60, 324),
+            (192, 324),
+            (324, 324),
+        ],
+        _ => return None,
+    };
+    Some(cell_from(corners))
+}
+
+/// All templates as `(name, layout)` pairs, in a stable order.
+pub fn all_cells() -> Vec<(&'static str, Layout)> {
+    names()
+        .iter()
+        .map(|&n| (n, cell(n).expect("names() entries are valid")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{pattern_sets, ClassifyConfig};
+    use crate::drc::{passes_drc, DrcRules};
+
+    #[test]
+    fn all_names_resolve() {
+        for &n in names() {
+            assert!(cell(n).is_some(), "missing template {n}");
+        }
+        assert!(cell("NOPE").is_none());
+    }
+
+    #[test]
+    fn all_cells_pass_drc() {
+        for (name, layout) in all_cells() {
+            assert!(
+                passes_drc(&layout, &DrcRules::default()),
+                "{name} violates DRC: {:?}",
+                crate::drc::check_drc(&layout, &DrcRules::default())
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_cells_have_expected_counts() {
+        assert_eq!(cell("AOI211_X1").expect("known").len(), 8);
+        assert_eq!(cell("NAND3_X2").expect("known").len(), 7);
+        assert_eq!(cell("BUF_X1").expect("known").len(), 4);
+    }
+
+    #[test]
+    fn every_cell_has_sp_patterns() {
+        // decomposition is only interesting when SP patterns exist
+        for (name, layout) in all_cells() {
+            let sets = pattern_sets(&layout, &ClassifyConfig::default());
+            assert!(!sets.sp.is_empty(), "{name} has no SP patterns");
+        }
+    }
+
+    #[test]
+    fn cells_fit_cnn_window() {
+        for (_, layout) in all_cells() {
+            assert_eq!(layout.grid_shape(2.0), (224, 224));
+        }
+    }
+}

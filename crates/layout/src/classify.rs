@@ -1,0 +1,160 @@
+//! Pattern classification (paper Eq. 6).
+//!
+//! Each pattern is classified by the distance `d` to its nearest neighbour:
+//!
+//! - `d <= nmin`          → **SP** (separated pattern): printing both on one
+//!   mask always causes a print violation, so they must be separated;
+//! - `nmin < d <= nmax`   → **VP** (violated pattern): prone to printability
+//!   decline — decomposition should pay attention to these;
+//! - `nmax < d`           → **NP** (normal pattern): negligible interaction.
+//!
+//! The paper sets `nmin = 80`, `nmax = 98` (nm).
+
+use crate::Layout;
+
+/// Classification thresholds of Eq. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifyConfig {
+    /// Below or at this nearest-neighbour distance a pattern is `SP`.
+    pub nmin: f64,
+    /// Between `nmin` (exclusive) and `nmax` (inclusive) a pattern is `VP`.
+    pub nmax: f64,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            nmin: 80.0,
+            nmax: 98.0,
+        }
+    }
+}
+
+/// The class of one pattern per Eq. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternClass {
+    /// `SP`: nearest neighbour at `d <= nmin`.
+    Separated,
+    /// `VP`: nearest neighbour at `nmin < d <= nmax`.
+    Violated,
+    /// `NP`: nearest neighbour at `d > nmax` (or no neighbour at all).
+    Normal,
+}
+
+/// The three index sets of Algorithm 1's `PatternClassify`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PatternSets {
+    /// Indices of separated patterns.
+    pub sp: Vec<usize>,
+    /// Indices of violated patterns.
+    pub vp: Vec<usize>,
+    /// Indices of normal patterns.
+    pub np: Vec<usize>,
+}
+
+/// Classifies every pattern of `layout` by Eq. 6.
+pub fn classify_patterns(layout: &Layout, cfg: &ClassifyConfig) -> Vec<PatternClass> {
+    let gaps = layout.gap_matrix();
+    (0..layout.len())
+        .map(|i| {
+            let d = gaps[i].iter().copied().fold(f64::INFINITY, f64::min);
+            if d <= cfg.nmin {
+                PatternClass::Separated
+            } else if d <= cfg.nmax {
+                PatternClass::Violated
+            } else {
+                PatternClass::Normal
+            }
+        })
+        .collect()
+}
+
+/// Splits the classification into the `SP`/`VP`/`NP` index sets used by the
+/// decomposition generator (Algorithm 1, line 1).
+pub fn pattern_sets(layout: &Layout, cfg: &ClassifyConfig) -> PatternSets {
+    let mut sets = PatternSets::default();
+    for (i, class) in classify_patterns(layout, cfg).into_iter().enumerate() {
+        match class {
+            PatternClass::Separated => sets.sp.push(i),
+            PatternClass::Violated => sets.vp.push(i),
+            PatternClass::Normal => sets.np.push(i),
+        }
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    fn layout(gaps: &[(i32, i32)]) -> Layout {
+        // builds 64 nm squares at the given lower-left corners
+        Layout::new(
+            Rect::new(0, 0, 1000, 1000),
+            gaps.iter().map(|&(x, y)| Rect::square(x, y, 64)).collect(),
+        )
+    }
+
+    #[test]
+    fn isolated_pattern_is_normal() {
+        let l = layout(&[(100, 100)]);
+        assert_eq!(
+            classify_patterns(&l, &ClassifyConfig::default()),
+            vec![PatternClass::Normal]
+        );
+    }
+
+    #[test]
+    fn boundary_values_of_eq6() {
+        let cfg = ClassifyConfig::default();
+        // pattern at x=0 and second at gap exactly nmin=80 -> both SP
+        let l = layout(&[(0, 0), (64 + 80, 0)]);
+        assert_eq!(
+            classify_patterns(&l, &cfg),
+            vec![PatternClass::Separated, PatternClass::Separated]
+        );
+        // gap 81: VP
+        let l = layout(&[(0, 0), (64 + 81, 0)]);
+        assert_eq!(classify_patterns(&l, &cfg)[0], PatternClass::Violated);
+        // gap exactly nmax=98: still VP
+        let l = layout(&[(0, 0), (64 + 98, 0)]);
+        assert_eq!(classify_patterns(&l, &cfg)[0], PatternClass::Violated);
+        // gap 99: NP
+        let l = layout(&[(0, 0), (64 + 99, 0)]);
+        assert_eq!(classify_patterns(&l, &cfg)[0], PatternClass::Normal);
+    }
+
+    #[test]
+    fn class_uses_nearest_neighbour_only() {
+        // middle pattern has one close (SP range) and one far neighbour:
+        // nearest wins
+        let l = layout(&[(0, 0), (64 + 70, 0), (600, 0)]);
+        let classes = classify_patterns(&l, &ClassifyConfig::default());
+        assert_eq!(classes[1], PatternClass::Separated);
+        assert_eq!(classes[2], PatternClass::Normal);
+    }
+
+    #[test]
+    fn sets_partition_all_indices() {
+        let l = layout(&[(0, 0), (64 + 70, 0), (64 + 70, 64 + 90), (700, 700)]);
+        let sets = pattern_sets(&l, &ClassifyConfig::default());
+        let mut all: Vec<usize> = sets
+            .sp
+            .iter()
+            .chain(&sets.vp)
+            .chain(&sets.np)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn diagonal_gap_uses_euclidean_distance() {
+        // diagonal offset: dx = 60, dy = 60 -> gap = 84.85 (VP), not 60 (SP)
+        let l = layout(&[(0, 0), (64 + 60, 64 + 60)]);
+        let classes = classify_patterns(&l, &ClassifyConfig::default());
+        assert_eq!(classes[0], PatternClass::Violated);
+    }
+}

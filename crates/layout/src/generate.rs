@@ -1,0 +1,274 @@
+//! Synthetic layout generation — the stand-in for the paper's 8000 manually
+//! generated NanGate-like contact layouts.
+//!
+//! The generator grows a cluster of contacts: each new contact is anchored
+//! to an existing one at a gap drawn from a configurable spacing
+//! distribution spanning the `SP` (< 80 nm), `VP` (80–98 nm) and `NP`
+//! (> 98 nm) ranges, then accepted only if the full layout stays DRC-clean.
+//! This mimics real cell contact arrays, where every contact sits near its
+//! transistor neighbours, and guarantees layouts exhibit the mixed-class
+//! structure the paper's decomposition machinery targets.
+
+use crate::drc::{passes_drc, DrcRules};
+use crate::{Layout, LayoutError};
+use ldmo_geom::Rect;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`LayoutGenerator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Layout window (nm). Default 448 × 448, which rasterizes to the
+    /// paper's 224 × 224 CNN input at 2 nm/px.
+    pub window: Rect,
+    /// Contact side length in nm (NanGate 45 nm contacts are ~65 nm).
+    pub contact_size: i32,
+    /// Inclusive range of contacts per layout.
+    pub min_patterns: usize,
+    /// See `min_patterns`.
+    pub max_patterns: usize,
+    /// Candidate gap values (nm) a new contact may take to its anchor.
+    /// Spanning 56–150 nm produces the SP/VP/NP mix the flow exercises.
+    pub gap_choices: Vec<f64>,
+    /// Design rules every emitted layout satisfies.
+    pub rules: DrcRules,
+    /// Attempts per contact before the generator gives up on a layout.
+    pub retries_per_pattern: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            window: Rect::new(0, 0, 448, 448),
+            contact_size: 64,
+            min_patterns: 3,
+            max_patterns: 8,
+            gap_choices: vec![56.0, 64.0, 72.0, 84.0, 92.0, 104.0, 120.0, 144.0],
+            rules: DrcRules::default(),
+            retries_per_pattern: 256,
+        }
+    }
+}
+
+/// Seeded random generator of DRC-clean contact layouts.
+///
+/// ```
+/// use ldmo_layout::generate::{GeneratorConfig, LayoutGenerator};
+///
+/// let mut gen = LayoutGenerator::new(GeneratorConfig::default(), 42);
+/// let layout = gen.generate()?;
+/// assert!(layout.len() >= 3);
+/// # Ok::<(), ldmo_layout::LayoutError>(())
+/// ```
+#[derive(Debug)]
+pub struct LayoutGenerator {
+    cfg: GeneratorConfig,
+    rng: StdRng,
+}
+
+impl LayoutGenerator {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(cfg: GeneratorConfig, seed: u64) -> Self {
+        LayoutGenerator {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.cfg
+    }
+
+    /// Generates one DRC-clean layout with a random contact count in the
+    /// configured range. If the sampled count jams (the window is near its
+    /// packing capacity at 8 contacts), the count is lowered until placement
+    /// succeeds, so this only fails when even `min_patterns` cannot fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::PlacementFailed`] when the window cannot fit
+    /// even `min_patterns` contacts under the spacing rules.
+    pub fn generate(&mut self) -> Result<Layout, LayoutError> {
+        let n = self
+            .rng
+            .gen_range(self.cfg.min_patterns..=self.cfg.max_patterns);
+        let mut last = None;
+        for count in (self.cfg.min_patterns..=n).rev() {
+            match self.generate_with_count(count) {
+                Ok(l) => return Ok(l),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or(LayoutError::PlacementFailed {
+            placed: 0,
+            requested: n,
+        }))
+    }
+
+    /// Generates one DRC-clean layout with exactly `n` contacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::PlacementFailed`] on placement failure.
+    pub fn generate_with_count(&mut self, n: usize) -> Result<Layout, LayoutError> {
+        let size = self.cfg.contact_size;
+        let margin = self.cfg.rules.window_margin;
+        let w = self.cfg.window;
+        let lo_x = w.x0 + margin;
+        let hi_x = w.x1 - margin - size;
+        let lo_y = w.y0 + margin;
+        let hi_y = w.y1 - margin - size;
+        let mut patterns: Vec<Rect> = Vec::with_capacity(n);
+        // first contact: uniform in the legal area
+        patterns.push(Rect::square(
+            self.rng.gen_range(lo_x..=hi_x),
+            self.rng.gen_range(lo_y..=hi_y),
+            size,
+        ));
+        while patterns.len() < n {
+            let mut placed = false;
+            let retries = self.cfg.retries_per_pattern;
+            for attempt in 0..retries {
+                // mostly anchor to an existing contact (keeps the cluster
+                // structure and the intended gap classes); fall back to
+                // uniform placement when the cluster has painted itself
+                // into a corner
+                let cand = if attempt < retries * 3 / 4 {
+                    let anchor = patterns[self.rng.gen_range(0..patterns.len())];
+                    let gap_idx = self.rng.gen_range(0..self.cfg.gap_choices.len());
+                    let gap = self.cfg.gap_choices[gap_idx];
+                    // axis-aligned placement in one of four directions keeps
+                    // the drawn gap equal to the intended class distance
+                    let offset = size + gap.round() as i32;
+                    let (dx, dy) = match self.rng.gen_range(0..4u8) {
+                        0 => (offset, self.rng.gen_range(-24..=24)),
+                        1 => (-offset, self.rng.gen_range(-24..=24)),
+                        2 => (self.rng.gen_range(-24..=24), offset),
+                        _ => (self.rng.gen_range(-24..=24), -offset),
+                    };
+                    Rect::square(anchor.x0 + dx, anchor.y0 + dy, size)
+                } else {
+                    Rect::square(
+                        self.rng.gen_range(lo_x..=hi_x),
+                        self.rng.gen_range(lo_y..=hi_y),
+                        size,
+                    )
+                };
+                if cand.x0 < lo_x || cand.x0 > hi_x || cand.y0 < lo_y || cand.y0 > hi_y {
+                    continue;
+                }
+                let mut trial = patterns.clone();
+                trial.push(cand);
+                let layout = Layout::new(w, trial);
+                if passes_drc(&layout, &self.cfg.rules) {
+                    patterns.push(cand);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(LayoutError::PlacementFailed {
+                    placed: patterns.len(),
+                    requested: n,
+                });
+            }
+        }
+        Ok(Layout::new(w, patterns))
+    }
+
+    /// Generates a dataset of `count` layouts, skipping (rare) placement
+    /// failures so the result always has exactly `count` entries.
+    pub fn generate_dataset(&mut self, count: usize) -> Vec<Layout> {
+        let mut out = Vec::with_capacity(count);
+        let mut guard = 0usize;
+        while out.len() < count && guard < count * 20 {
+            guard += 1;
+            if let Ok(l) = self.generate() {
+                out.push(l);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify_patterns, ClassifyConfig, PatternClass};
+    use crate::drc::check_drc;
+
+    #[test]
+    fn generated_layouts_are_drc_clean() {
+        let mut gen = LayoutGenerator::new(GeneratorConfig::default(), 7);
+        for _ in 0..20 {
+            let l = gen.generate().expect("generation succeeds");
+            let v = check_drc(&l, &gen.config().rules.clone());
+            assert!(v.is_empty(), "violations: {v:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_count_within_bounds() {
+        let cfg = GeneratorConfig::default();
+        let (lo, hi) = (cfg.min_patterns, cfg.max_patterns);
+        let mut gen = LayoutGenerator::new(cfg, 11);
+        for _ in 0..20 {
+            let l = gen.generate().expect("generation succeeds");
+            assert!(l.len() >= lo && l.len() <= hi);
+        }
+    }
+
+    #[test]
+    fn exact_count_honoured() {
+        let mut gen = LayoutGenerator::new(GeneratorConfig::default(), 3);
+        let l = gen.generate_with_count(6).expect("fits");
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn same_seed_same_layouts() {
+        let a = LayoutGenerator::new(GeneratorConfig::default(), 99).generate_dataset(5);
+        let b = LayoutGenerator::new(GeneratorConfig::default(), 99).generate_dataset(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LayoutGenerator::new(GeneratorConfig::default(), 1).generate_dataset(3);
+        let b = LayoutGenerator::new(GeneratorConfig::default(), 2).generate_dataset(3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dataset_exhibits_all_three_classes() {
+        // across a batch, the SP/VP/NP mix must all be present — the whole
+        // decomposition problem depends on it
+        let mut gen = LayoutGenerator::new(GeneratorConfig::default(), 123);
+        let mut seen_sp = false;
+        let mut seen_vp = false;
+        let mut seen_np = false;
+        for l in gen.generate_dataset(30) {
+            for c in classify_patterns(&l, &ClassifyConfig::default()) {
+                match c {
+                    PatternClass::Separated => seen_sp = true,
+                    PatternClass::Violated => seen_vp = true,
+                    PatternClass::Normal => seen_np = true,
+                }
+            }
+        }
+        assert!(seen_sp && seen_vp && seen_np, "sp={seen_sp} vp={seen_vp} np={seen_np}");
+    }
+
+    #[test]
+    fn impossible_request_fails_cleanly() {
+        let cfg = GeneratorConfig {
+            window: Rect::new(0, 0, 200, 200),
+            ..GeneratorConfig::default()
+        };
+        let mut gen = LayoutGenerator::new(cfg, 5);
+        // a 200 nm window (120 nm usable) cannot hold 8 contacts of 64 nm
+        let err = gen.generate_with_count(8).expect_err("must fail");
+        assert!(matches!(err, LayoutError::PlacementFailed { .. }));
+    }
+}

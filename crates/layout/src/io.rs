@@ -1,0 +1,246 @@
+//! Plain-text layout files.
+//!
+//! A minimal, diff-friendly interchange format so layouts can be saved,
+//! versioned and fed to the CLI without a GDSII tool-chain:
+//!
+//! ```text
+//! ldmo-layout v1
+//! window 0 0 448 448
+//! pattern 40 40 104 104
+//! pattern 160 40 224 104
+//! ```
+//!
+//! Coordinates are `x0 y0 x1 y1` in nm. Blank lines and `#` comments are
+//! ignored.
+
+use crate::Layout;
+use ldmo_geom::Rect;
+use std::io::Write;
+use std::path::Path;
+
+/// Errors from layout file parsing.
+#[derive(Debug)]
+pub enum ParseLayoutError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem, with the 1-based line number.
+    Malformed {
+        /// Line where parsing failed (0 = whole file, e.g. missing header).
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseLayoutError::Io(e) => write!(f, "layout file I/O failed: {e}"),
+            ParseLayoutError::Malformed { line, reason } => {
+                write!(f, "malformed layout file (line {line}): {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseLayoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseLayoutError::Io(e) => Some(e),
+            ParseLayoutError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseLayoutError {
+    fn from(e: std::io::Error) -> Self {
+        ParseLayoutError::Io(e)
+    }
+}
+
+/// Serializes a layout into the text format.
+pub fn to_string(layout: &Layout) -> String {
+    let w = layout.window();
+    let mut s = format!("ldmo-layout v1\nwindow {} {} {} {}\n", w.x0, w.y0, w.x1, w.y1);
+    for r in layout.patterns() {
+        s.push_str(&format!("pattern {} {} {} {}\n", r.x0, r.y0, r.x1, r.y1));
+    }
+    s
+}
+
+/// Parses a layout from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseLayoutError::Malformed`] on any structural problem.
+pub fn from_str(text: &str) -> Result<Layout, ParseLayoutError> {
+    let mut window: Option<Rect> = None;
+    let mut patterns = Vec::new();
+    let mut header_seen = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !header_seen {
+            if line != "ldmo-layout v1" {
+                return Err(ParseLayoutError::Malformed {
+                    line: line_no,
+                    reason: format!("expected header 'ldmo-layout v1', got '{line}'"),
+                });
+            }
+            header_seen = true;
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap_or_default();
+        let rect = parse_rect(&mut parts, line_no)?;
+        if parts.next().is_some() {
+            return Err(ParseLayoutError::Malformed {
+                line: line_no,
+                reason: "trailing tokens after coordinates".to_owned(),
+            });
+        }
+        match keyword {
+            "window" => {
+                if window.replace(rect).is_some() {
+                    return Err(ParseLayoutError::Malformed {
+                        line: line_no,
+                        reason: "duplicate window line".to_owned(),
+                    });
+                }
+            }
+            "pattern" => patterns.push(rect),
+            other => {
+                return Err(ParseLayoutError::Malformed {
+                    line: line_no,
+                    reason: format!("unknown keyword '{other}'"),
+                })
+            }
+        }
+    }
+    let window = window.ok_or(ParseLayoutError::Malformed {
+        line: 0,
+        reason: "missing window line".to_owned(),
+    })?;
+    Ok(Layout::new(window, patterns))
+}
+
+fn parse_rect<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<Rect, ParseLayoutError> {
+    let mut coords = [0i32; 4];
+    for c in &mut coords {
+        let token = parts.next().ok_or(ParseLayoutError::Malformed {
+            line,
+            reason: "expected four coordinates".to_owned(),
+        })?;
+        *c = token.parse().map_err(|_| ParseLayoutError::Malformed {
+            line,
+            reason: format!("'{token}' is not an integer"),
+        })?;
+    }
+    Rect::try_new(coords[0], coords[1], coords[2], coords[3]).map_err(|_| {
+        ParseLayoutError::Malformed {
+            line,
+            reason: "rectangle has non-positive extent".to_owned(),
+        }
+    })
+}
+
+/// Writes a layout to a file.
+///
+/// # Errors
+///
+/// Returns [`ParseLayoutError::Io`] on I/O failure.
+pub fn save(layout: &Layout, path: impl AsRef<Path>) -> Result<(), ParseLayoutError> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(to_string(layout).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a layout from a file.
+///
+/// # Errors
+///
+/// Returns [`ParseLayoutError`] on I/O failure or malformed content.
+pub fn load(path: impl AsRef<Path>) -> Result<Layout, ParseLayoutError> {
+    let text = std::fs::read_to_string(path)?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Layout {
+        Layout::new(
+            Rect::new(0, 0, 448, 448),
+            vec![Rect::square(40, 40, 64), Rect::square(160, 40, 64)],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let l = sample();
+        let text = to_string(&l);
+        let back = from_str(&text).expect("roundtrip");
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a layout\nldmo-layout v1\n\nwindow 0 0 100 100\n# pattern below\npattern 10 10 20 20\n";
+        let l = from_str(text).expect("parses");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.window(), Rect::new(0, 0, 100, 100));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = from_str("window 0 0 10 10\n").expect_err("no header");
+        assert!(matches!(err, ParseLayoutError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn missing_window_rejected() {
+        let err = from_str("ldmo-layout v1\npattern 0 0 5 5\n").expect_err("no window");
+        assert!(matches!(err, ParseLayoutError::Malformed { line: 0, .. }));
+    }
+
+    #[test]
+    fn bad_numbers_rejected_with_line() {
+        let err = from_str("ldmo-layout v1\nwindow 0 0 10 ten\n").expect_err("bad int");
+        match err {
+            ParseLayoutError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverted_rect_rejected() {
+        let err = from_str("ldmo-layout v1\nwindow 0 0 10 10\npattern 5 5 2 8\n")
+            .expect_err("inverted rect");
+        assert!(matches!(err, ParseLayoutError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn duplicate_window_rejected() {
+        let err = from_str("ldmo-layout v1\nwindow 0 0 10 10\nwindow 0 0 20 20\n")
+            .expect_err("duplicate");
+        assert!(matches!(err, ParseLayoutError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ldmo_layout_io_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sample.lay");
+        save(&sample(), &path).expect("save");
+        let back = load(&path).expect("load");
+        assert_eq!(back, sample());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,166 @@
+//! Connected-component labeling of binarized printed images, used by the
+//! print-violation detector (bridging / missing patterns).
+
+use ldmo_geom::Grid;
+
+/// Result of 4-connected component labeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    width: usize,
+    height: usize,
+    /// Per-pixel label; `0` means background, components are `1..=count`.
+    labels: Vec<u32>,
+    /// Number of foreground components.
+    count: u32,
+}
+
+impl ComponentLabels {
+    /// Number of foreground components.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Label at `(x, y)` (`0` = background).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn label(&self, x: usize, y: usize) -> u32 {
+        assert!(x < self.width && y < self.height, "index out of bounds");
+        self.labels[y * self.width + x]
+    }
+
+    /// Pixel area of component `id` (1-based).
+    pub fn area(&self, id: u32) -> usize {
+        self.labels.iter().filter(|&&l| l == id).count()
+    }
+
+    /// Raw label buffer (row-major).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.labels
+    }
+}
+
+/// Labels 4-connected components of pixels where `grid >= level`.
+///
+/// ```
+/// use ldmo_geom::{Grid, Rect};
+/// use ldmo_litho::label_components;
+///
+/// let mut g = Grid::zeros(16, 16);
+/// g.fill_rect(&Rect::new(1, 1, 4, 4), 1.0);
+/// g.fill_rect(&Rect::new(8, 8, 12, 12), 1.0);
+/// assert_eq!(label_components(&g, 0.5).count(), 2);
+/// ```
+pub fn label_components(grid: &Grid, level: f32) -> ComponentLabels {
+    let (w, h) = grid.shape();
+    let mut labels = vec![0u32; w * h];
+    let mut count = 0u32;
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for sy in 0..h {
+        for sx in 0..w {
+            let idx = sy * w + sx;
+            if labels[idx] != 0 || grid.as_slice()[idx] < level {
+                continue;
+            }
+            count += 1;
+            labels[idx] = count;
+            stack.push((sx, sy));
+            while let Some((x, y)) = stack.pop() {
+                let mut visit = |nx: usize, ny: usize| {
+                    let nidx = ny * w + nx;
+                    if labels[nidx] == 0 && grid.as_slice()[nidx] >= level {
+                        labels[nidx] = count;
+                        stack.push((nx, ny));
+                    }
+                };
+                if x > 0 {
+                    visit(x - 1, y);
+                }
+                if x + 1 < w {
+                    visit(x + 1, y);
+                }
+                if y > 0 {
+                    visit(x, y - 1);
+                }
+                if y + 1 < h {
+                    visit(x, y + 1);
+                }
+            }
+        }
+    }
+    ComponentLabels {
+        width: w,
+        height: h,
+        labels,
+        count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    #[test]
+    fn empty_grid_has_no_components() {
+        let g = Grid::zeros(8, 8);
+        assert_eq!(label_components(&g, 0.5).count(), 0);
+    }
+
+    #[test]
+    fn single_blob() {
+        let mut g = Grid::zeros(8, 8);
+        g.fill_rect(&Rect::new(2, 2, 6, 6), 1.0);
+        let c = label_components(&g, 0.5);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.area(1), 16);
+        assert_eq!(c.label(3, 3), 1);
+        assert_eq!(c.label(0, 0), 0);
+    }
+
+    #[test]
+    fn diagonal_blobs_are_separate() {
+        // 4-connectivity: diagonal adjacency does not merge
+        let mut g = Grid::zeros(4, 4);
+        g.set(0, 0, 1.0);
+        g.set(1, 1, 1.0);
+        assert_eq!(label_components(&g, 0.5).count(), 2);
+    }
+
+    #[test]
+    fn touching_blobs_merge() {
+        let mut g = Grid::zeros(8, 8);
+        g.fill_rect(&Rect::new(0, 0, 4, 4), 1.0);
+        g.fill_rect(&Rect::new(3, 3, 8, 8), 1.0); // overlaps one pixel
+        assert_eq!(label_components(&g, 0.5).count(), 1);
+    }
+
+    #[test]
+    fn level_respected() {
+        let mut g = Grid::zeros(4, 4);
+        g.set(1, 1, 0.4);
+        g.set(2, 2, 0.6);
+        let c = label_components(&g, 0.5);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.label(1, 1), 0);
+        assert_eq!(c.label(2, 2), 1);
+    }
+
+    #[test]
+    fn large_snake_does_not_overflow_stack() {
+        // worst case flood fill on a serpentine pattern
+        let mut g = Grid::zeros(64, 64);
+        for y in 0..64 {
+            if y % 2 == 0 {
+                g.fill_rect(&Rect::new(0, y, 63, y + 1), 1.0);
+            } else if (y / 2) % 2 == 0 {
+                g.fill_rect(&Rect::new(62, y, 63, y + 1), 1.0);
+            } else {
+                g.fill_rect(&Rect::new(0, y, 1, y + 1), 1.0);
+            }
+        }
+        let c = label_components(&g, 0.5);
+        assert_eq!(c.count(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Printed-contour extraction (marching squares).
+//!
+//! Converts a resist image into explicit iso-level contour segments. The
+//! EPE machinery measures displacement along known target edges and never
+//! needs full contours, but visualization (Fig. 7 style overlays) and the
+//! process-window metrics do.
+
+use ldmo_geom::{Grid, Vec2};
+
+/// One line segment of an iso-contour, in pixel coordinates (sub-pixel
+/// interpolated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContourSegment {
+    /// Segment start.
+    pub a: Vec2,
+    /// Segment end.
+    pub b: Vec2,
+}
+
+impl ContourSegment {
+    /// Segment length in pixels.
+    pub fn length(&self) -> f64 {
+        (self.b - self.a).norm()
+    }
+}
+
+/// Extracts the `level` iso-contour of `grid` with the marching-squares
+/// algorithm. Saddle cells are resolved by the cell-average rule.
+///
+/// ```
+/// use ldmo_geom::{Grid, Rect};
+/// use ldmo_litho::extract_contour;
+///
+/// let mut g = Grid::zeros(16, 16);
+/// g.fill_rect(&Rect::new(4, 4, 12, 12), 1.0);
+/// let segments = extract_contour(&g, 0.5);
+/// assert!(!segments.is_empty());
+/// // a closed square contour: total length ≈ its perimeter (4 × 8 px,
+/// // measured between pixel centers: 4 × 7 plus corner cuts)
+/// let total: f64 = segments.iter().map(|s| s.length()).sum();
+/// assert!(total > 20.0 && total < 40.0);
+/// ```
+pub fn extract_contour(grid: &Grid, level: f32) -> Vec<ContourSegment> {
+    let (w, h) = grid.shape();
+    let mut segments = Vec::new();
+    if w < 2 || h < 2 {
+        return segments;
+    }
+    // interpolation along an edge between two sample points
+    let lerp = |pa: Vec2, va: f32, pb: Vec2, vb: f32| -> Vec2 {
+        let t = if (vb - va).abs() < 1e-12 {
+            0.5
+        } else {
+            f64::from((level - va) / (vb - va))
+        };
+        pa + (pb - pa) * t.clamp(0.0, 1.0)
+    };
+    for y in 0..h - 1 {
+        for x in 0..w - 1 {
+            let v = [
+                grid.get(x, y),
+                grid.get(x + 1, y),
+                grid.get(x + 1, y + 1),
+                grid.get(x, y + 1),
+            ];
+            let p = [
+                Vec2::new(x as f64, y as f64),
+                Vec2::new((x + 1) as f64, y as f64),
+                Vec2::new((x + 1) as f64, (y + 1) as f64),
+                Vec2::new(x as f64, (y + 1) as f64),
+            ];
+            let mut case = 0usize;
+            for (i, &vi) in v.iter().enumerate() {
+                if vi >= level {
+                    case |= 1 << i;
+                }
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            // midpoints of crossed edges: edge i connects corner i and i+1
+            let edge_point = |i: usize| -> Vec2 {
+                let j = (i + 1) % 4;
+                lerp(p[i], v[i], p[j], v[j])
+            };
+            // lookup: which edges the contour crosses per case, as pairs
+            let pairs: &[(usize, usize)] = match case {
+                1 => &[(3, 0)],
+                2 => &[(0, 1)],
+                3 => &[(3, 1)],
+                4 => &[(1, 2)],
+                5 => {
+                    // saddle: disambiguate by cell average
+                    let avg = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if avg >= level {
+                        &[(3, 2), (1, 0)]
+                    } else {
+                        &[(3, 0), (1, 2)]
+                    }
+                }
+                6 => &[(0, 2)],
+                7 => &[(3, 2)],
+                8 => &[(2, 3)],
+                9 => &[(2, 0)],
+                10 => {
+                    let avg = (v[0] + v[1] + v[2] + v[3]) / 4.0;
+                    if avg >= level {
+                        &[(0, 1), (2, 3)]
+                    } else {
+                        &[(0, 3), (2, 1)]
+                    }
+                }
+                11 => &[(2, 1)],
+                12 => &[(1, 3)],
+                13 => &[(1, 0)],
+                14 => &[(0, 3)],
+                _ => unreachable!("cases 0 and 15 are filtered"),
+            };
+            for &(ea, eb) in pairs {
+                segments.push(ContourSegment {
+                    a: edge_point(ea),
+                    b: edge_point(eb),
+                });
+            }
+        }
+    }
+    segments
+}
+
+/// Total contour length at `level`, in pixels — a roughness/area-boundary
+/// summary statistic used by the extension benches.
+pub fn contour_length(grid: &Grid, level: f32) -> f64 {
+    extract_contour(grid, level)
+        .iter()
+        .map(ContourSegment::length)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    #[test]
+    fn empty_grid_has_no_contour() {
+        let g = Grid::zeros(8, 8);
+        assert!(extract_contour(&g, 0.5).is_empty());
+        let full = Grid::filled(8, 8, 1.0);
+        assert!(extract_contour(&full, 0.5).is_empty());
+    }
+
+    #[test]
+    fn square_contour_length_scales_with_side() {
+        let mut small = Grid::zeros(64, 64);
+        small.fill_rect(&Rect::new(16, 16, 32, 32), 1.0);
+        let mut large = Grid::zeros(64, 64);
+        large.fill_rect(&Rect::new(8, 8, 56, 56), 1.0);
+        let ls = contour_length(&small, 0.5);
+        let ll = contour_length(&large, 0.5);
+        assert!(ll > 2.5 * ls, "small {ls}, large {ll}");
+    }
+
+    #[test]
+    fn contour_sits_between_inside_and_outside() {
+        let mut g = Grid::zeros(32, 32);
+        g.fill_rect(&Rect::new(8, 8, 24, 24), 1.0);
+        for s in extract_contour(&g, 0.5) {
+            for p in [s.a, s.b] {
+                // every contour point lies within half a cell of the
+                // drawn boundary ring (7..24 in pixel-center coordinates)
+                assert!(
+                    p.x >= 7.0 && p.x <= 24.0 && p.y >= 7.0 && p.y <= 24.0,
+                    "stray contour point {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_gradient_single_crossing_per_column() {
+        // linear ramp in x: the 0.5 contour is a vertical line
+        let mut g = Grid::zeros(16, 8);
+        for y in 0..8 {
+            for x in 0..16 {
+                g.set(x, y, x as f32 / 15.0);
+            }
+        }
+        let segs = extract_contour(&g, 0.5);
+        assert!(!segs.is_empty());
+        for s in &segs {
+            assert!((s.a.x - s.b.x).abs() < 1e-5, "contour not vertical");
+            assert!((s.a.x - 7.5).abs() < 1.0, "crossing at {}", s.a.x);
+        }
+    }
+
+    #[test]
+    fn saddle_cells_do_not_panic_and_produce_two_segments() {
+        // checkerboard corners force cases 5/10
+        let g = Grid::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let segs = extract_contour(&g, 0.5);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let g = Grid::filled(1, 1, 1.0);
+        assert!(extract_contour(&g, 0.5).is_empty());
+        let g = Grid::filled(1, 5, 1.0);
+        assert!(extract_contour(&g, 0.5).is_empty());
+    }
+}

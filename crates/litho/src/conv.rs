@@ -1,0 +1,225 @@
+//! 2-D convolution: direct (reference), and fast separable convolution for
+//! the radially symmetric Gaussian kernels used by the optical model.
+//!
+//! All convolutions use "same" output size with zero padding, which models a
+//! mask embedded in an empty (chrome) surround.
+
+use ldmo_geom::Grid;
+
+/// Direct 2-D convolution of `input` with a dense `kernel`, same-size output,
+/// zero padding. `O(W·H·kw·kh)` — the reference implementation used to
+/// validate the separable and FFT fast paths, and for non-separable kernels.
+///
+/// The kernel is indexed `kernel[ky * kw + kx]` and is *centered*: taps run
+/// from `-(kw/2)` to `kw - kw/2 - 1` relative to the output pixel
+/// (convolution flips the kernel; for the symmetric kernels used here
+/// convolution and correlation coincide).
+///
+/// # Panics
+///
+/// Panics if `kernel.len() != kw * kh` or either kernel dimension is even
+/// (centered kernels must be odd-sized).
+pub fn convolve2d_direct(input: &Grid, kernel: &[f32], kw: usize, kh: usize) -> Grid {
+    assert_eq!(kernel.len(), kw * kh, "kernel buffer length mismatch");
+    assert!(kw % 2 == 1 && kh % 2 == 1, "kernel must be odd-sized");
+    let (w, h) = input.shape();
+    let (cx, cy) = ((kw / 2) as i64, (kh / 2) as i64);
+    let mut out = Grid::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    // convolution: out(x,y) = sum in(x - (kx - cx), y - (ky - cy)) * k(kx, ky)
+                    let sx = x as i64 - (kx as i64 - cx);
+                    let sy = y as i64 - (ky as i64 - cy);
+                    acc += input.get_padded(sx, sy) * kernel[ky * kw + kx];
+                }
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// Separable convolution with a centered, odd-length 1-D `profile` applied
+/// along x then along y: `input ⊗ (p pᵀ)`. `O(W·H·k)` per axis.
+///
+/// # Panics
+///
+/// Panics if `profile.len()` is even.
+pub fn convolve_separable(input: &Grid, profile: &[f32]) -> Grid {
+    let tmp = convolve_rows(input, profile);
+    convolve_cols(&tmp, profile)
+}
+
+/// Correlation with a separable symmetric kernel. For the symmetric Gaussian
+/// profiles used here this is identical to [`convolve_separable`]; it exists
+/// so gradient code can state its intent (backpropagation through a
+/// convolution is a correlation with the same kernel).
+pub fn correlate_separable(input: &Grid, profile: &[f32]) -> Grid {
+    // A symmetric profile equals its own flip, so correlation == convolution.
+    convolve_separable(input, profile)
+}
+
+fn convolve_rows(input: &Grid, profile: &[f32]) -> Grid {
+    assert!(profile.len() % 2 == 1, "profile must be odd-length");
+    let (w, h) = input.shape();
+    let c = (profile.len() / 2) as i64;
+    let mut out = Grid::zeros(w, h);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    for y in 0..h {
+        let row = &src[y * w..(y + 1) * w];
+        let out_row = &mut dst[y * w..(y + 1) * w];
+        // tap-outer accumulation over contiguous slices: for tap offset
+        // `off = k - c`, out[x] += row[x - off] * p, i.e. a shifted
+        // slice-add the compiler vectorizes
+        for (k, &p) in profile.iter().enumerate() {
+            let off = k as i64 - c;
+            let (dst_range, src_range) = if off >= 0 {
+                let off = (off as usize).min(w);
+                (off..w, 0..w - off)
+            } else {
+                let off = ((-off) as usize).min(w);
+                (0..w - off, off..w)
+            };
+            for (d, &s) in out_row[dst_range].iter_mut().zip(&row[src_range]) {
+                *d += s * p;
+            }
+        }
+    }
+    out
+}
+
+fn convolve_cols(input: &Grid, profile: &[f32]) -> Grid {
+    assert!(profile.len() % 2 == 1, "profile must be odd-length");
+    let (w, h) = input.shape();
+    let c = (profile.len() / 2) as i64;
+    let mut out = Grid::zeros(w, h);
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    for y in 0..h {
+        for (k, &p) in profile.iter().enumerate() {
+            let sy = y as i64 - (k as i64 - c);
+            if sy < 0 || sy as usize >= h {
+                continue;
+            }
+            let src_row = &src[sy as usize * w..(sy as usize + 1) * w];
+            let dst_row = &mut dst[y * w..(y + 1) * w];
+            for (d, &s) in dst_row.iter_mut().zip(src_row) {
+                *d += s * p;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn outer(profile: &[f32]) -> Vec<f32> {
+        let k = profile.len();
+        let mut dense = vec![0.0f32; k * k];
+        for y in 0..k {
+            for x in 0..k {
+                dense[y * k + x] = profile[y] * profile[x];
+            }
+        }
+        dense
+    }
+
+    #[test]
+    fn identity_kernel_is_noop() {
+        let mut g = Grid::zeros(5, 5);
+        g.set(2, 2, 3.0);
+        g.set(0, 4, -1.0);
+        let out = convolve2d_direct(&g, &[1.0], 1, 1);
+        assert_eq!(out, g);
+        let out_sep = convolve_separable(&g, &[1.0]);
+        assert_eq!(out_sep, g);
+    }
+
+    #[test]
+    fn impulse_response_reproduces_kernel() {
+        let mut g = Grid::zeros(7, 7);
+        g.set(3, 3, 1.0);
+        let kernel = [0.1, 0.2, 0.1, 0.2, 0.4, 0.2, 0.05, 0.1, 0.05];
+        let out = convolve2d_direct(&g, &kernel, 3, 3);
+        // impulse at center: output around (3,3) equals the kernel
+        for ky in 0..3 {
+            for kx in 0..3 {
+                let v = out.get(2 + kx, 2 + ky);
+                assert!((v - kernel[ky * 3 + kx]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_kernel_is_flipped() {
+        // convolution flips the kernel: an impulse convolved with a kernel
+        // that has weight only at its "right" tap shifts mass to the RIGHT
+        // when the kernel tap is at the right (since out(x) = sum in(x-k')k).
+        let mut g = Grid::zeros(5, 1);
+        g.set(2, 0, 1.0);
+        let kernel = [0.0, 0.0, 1.0]; // tap at kx=2, offset +1
+        let out = convolve2d_direct(&g, &kernel, 3, 1);
+        assert_eq!(out.get(3, 0), 1.0);
+        assert_eq!(out.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn separable_matches_direct_dense() {
+        let profile = [0.25f32, 0.5, 0.25];
+        let dense = outer(&profile);
+        let mut g = Grid::zeros(9, 9);
+        g.set(4, 4, 1.0);
+        g.set(1, 7, 2.0);
+        g.set(8, 0, -0.5);
+        let a = convolve_separable(&g, &profile);
+        let b = convolve2d_direct(&g, &dense, 3, 3);
+        for (x, y) in (0..9).flat_map(|y| (0..9).map(move |x| (x, y))) {
+            assert!((a.get(x, y) - b.get(x, y)).abs() < 1e-5, "at ({x},{y})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_rejected() {
+        let g = Grid::zeros(4, 4);
+        let _ = convolve2d_direct(&g, &[0.5, 0.5], 2, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn separable_equals_dense_on_random_input(
+            vals in proptest::collection::vec(-1.0f32..1.0, 64),
+            p0 in 0.01f32..1.0, p1 in 0.01f32..1.0, p2 in 0.01f32..1.0,
+        ) {
+            let profile = [p0, p1, p2];
+            let g = Grid::from_vec(8, 8, vals);
+            let a = convolve_separable(&g, &profile);
+            let b = convolve2d_direct(&g, &outer(&profile), 3, 3);
+            for i in 0..64 {
+                prop_assert!((a.as_slice()[i] - b.as_slice()[i]).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn convolution_is_linear(
+            vals in proptest::collection::vec(-1.0f32..1.0, 16),
+            scale in -2.0f32..2.0,
+        ) {
+            let profile = [0.25f32, 0.5, 0.25];
+            let g = Grid::from_vec(4, 4, vals);
+            let scaled = g.map(|v| v * scale);
+            let a = convolve_separable(&scaled, &profile);
+            let b = convolve_separable(&g, &profile).map(|v| v * scale);
+            for i in 0..16 {
+                prop_assert!((a.as_slice()[i] - b.as_slice()[i]).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Radix-2 FFT and FFT-based convolution.
+//!
+//! The separable path in [`crate::convolve_separable`] is the production
+//! fast path for Gaussian kernels; the FFT path exists for large or
+//! non-separable kernels and as an independent oracle in tests/benches
+//! (`ablation: direct vs FFT crossover` in DESIGN.md §4).
+
+use ldmo_geom::Grid;
+
+/// A complex number over `f64`, minimal API for FFT work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse = true` computes the unscaled inverse transform; the caller is
+/// responsible for dividing by `n` (done by [`ifft2d`]).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward 2-D FFT of a real grid, zero-padded up to `(nw, nh)` (both must be
+/// powers of two and at least the grid size). Returns row-major complex data.
+///
+/// # Panics
+///
+/// Panics if `nw`/`nh` are not powers of two or smaller than the grid.
+pub fn fft2d(grid: &Grid, nw: usize, nh: usize) -> Vec<Complex> {
+    let (w, h) = grid.shape();
+    assert!(nw.is_power_of_two() && nh.is_power_of_two());
+    assert!(nw >= w && nh >= h, "padded size must cover the grid");
+    let mut data = vec![Complex::default(); nw * nh];
+    for y in 0..h {
+        for x in 0..w {
+            data[y * nw + x] = Complex::new(f64::from(grid.get(x, y)), 0.0);
+        }
+    }
+    fft2d_complex(&mut data, nw, nh, false);
+    data
+}
+
+/// Inverse 2-D FFT; returns the real part cropped to `(w, h)` and scaled by
+/// `1 / (nw · nh)`.
+pub fn ifft2d(data: &mut [Complex], nw: usize, nh: usize, w: usize, h: usize) -> Grid {
+    fft2d_complex(data, nw, nh, true);
+    let scale = 1.0 / (nw * nh) as f64;
+    let mut out = Grid::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            out.set(x, y, (data[y * nw + x].re * scale) as f32);
+        }
+    }
+    out
+}
+
+fn fft2d_complex(data: &mut [Complex], nw: usize, nh: usize, inverse: bool) {
+    // rows
+    for y in 0..nh {
+        fft_inplace(&mut data[y * nw..(y + 1) * nw], inverse);
+    }
+    // columns, via a scratch buffer
+    let mut col = vec![Complex::default(); nh];
+    for x in 0..nw {
+        for y in 0..nh {
+            col[y] = data[y * nw + x];
+        }
+        fft_inplace(&mut col, inverse);
+        for y in 0..nh {
+            data[y * nw + x] = col[y];
+        }
+    }
+}
+
+/// FFT-based "same" convolution with zero padding, matching the semantics of
+/// [`crate::convolve2d_direct`] (centered, odd-sized kernel).
+///
+/// # Panics
+///
+/// Panics if the kernel is even-sized or the buffer length mismatches.
+pub fn convolve2d_fft(input: &Grid, kernel: &[f32], kw: usize, kh: usize) -> Grid {
+    assert_eq!(kernel.len(), kw * kh, "kernel buffer length mismatch");
+    assert!(kw % 2 == 1 && kh % 2 == 1, "kernel must be odd-sized");
+    let (w, h) = input.shape();
+    let nw = (w + kw).next_power_of_two();
+    let nh = (h + kh).next_power_of_two();
+    let mut fa = fft2d(input, nw, nh);
+    // embed kernel centered at origin with wrap-around so "same" output
+    // lands at the input coordinates directly.
+    let mut kdata = vec![Complex::default(); nw * nh];
+    let (cx, cy) = (kw / 2, kh / 2);
+    for ky in 0..kh {
+        for kx in 0..kw {
+            let dx = kx as i64 - cx as i64;
+            let dy = ky as i64 - cy as i64;
+            let px = dx.rem_euclid(nw as i64) as usize;
+            let py = dy.rem_euclid(nh as i64) as usize;
+            kdata[py * nw + px] = Complex::new(f64::from(kernel[ky * kw + kx]), 0.0);
+        }
+    }
+    fft2d_complex(&mut kdata, nw, nh, false);
+    for (a, b) in fa.iter_mut().zip(&kdata) {
+        *a = a.mul(*b);
+    }
+    ifft2d(&mut fa, nw, nh, w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convolve2d_direct;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fft_roundtrip_1d() {
+        let src = [1.0, 2.0, -0.5, 0.25, 0.0, 3.0, -1.0, 0.5];
+        let mut data: Vec<Complex> = src.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_inplace(&mut data, false);
+        fft_inplace(&mut data, true);
+        for (d, &s) in data.iter().zip(&src) {
+            assert!((d.re / 8.0 - s).abs() < 1e-12);
+            assert!((d.im / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut data, false);
+        for d in &data {
+            assert!((d.re - 1.0).abs() < 1e-12 && d.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 6];
+        fft_inplace(&mut data, false);
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        let mut g = Grid::zeros(10, 6);
+        g.set(3, 2, 1.0);
+        g.set(9, 5, 2.0);
+        g.set(0, 0, -1.5);
+        let kernel = [0.05f32, 0.1, 0.05, 0.1, 0.4, 0.1, 0.05, 0.1, 0.05];
+        let a = convolve2d_direct(&g, &kernel, 3, 3);
+        let b = convolve2d_fft(&g, &kernel, 3, 3);
+        for y in 0..6 {
+            for x in 0..10 {
+                assert!(
+                    (a.get(x, y) - b.get(x, y)).abs() < 1e-5,
+                    "mismatch at ({x},{y}): {} vs {}",
+                    a.get(x, y),
+                    b.get(x, y)
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fft_conv_equals_direct_random(
+            vals in proptest::collection::vec(-1.0f32..1.0, 48),
+            kvals in proptest::collection::vec(-0.5f32..0.5, 9),
+        ) {
+            let g = Grid::from_vec(8, 6, vals);
+            let a = convolve2d_direct(&g, &kvals, 3, 3);
+            let b = convolve2d_fft(&g, &kvals, 3, 3);
+            for i in 0..48 {
+                prop_assert!((a.as_slice()[i] - b.as_slice()[i]).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn parseval_energy_preserved(vals in proptest::collection::vec(-1.0f64..1.0, 16)) {
+            let mut data: Vec<Complex> = vals.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let time_energy: f64 = vals.iter().map(|v| v * v).sum();
+            fft_inplace(&mut data, false);
+            let freq_energy: f64 = data.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / 16.0;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Scalar printability metrics: L2 error (paper Definition 2) and a process
+//! variation band helper used by the extension benches.
+
+use ldmo_geom::Grid;
+
+/// L2 error `‖T − T′‖²` between the printed image `t` and target `t_target`
+/// (paper Definition 2). This is the quantity ILT minimizes each iteration.
+///
+/// # Panics
+///
+/// Panics if the grids have different shapes.
+pub fn l2_error(t: &Grid, t_target: &Grid) -> f64 {
+    t.l2_dist_sq(t_target)
+        .expect("printed and target images must share a shape")
+}
+
+/// Area (in px = nm²) of the process-variation band: pixels whose printed
+/// state differs between an outer (high-dose) and inner (low-dose) print.
+/// Both grids are binarized at `level` first.
+///
+/// # Panics
+///
+/// Panics if the grids have different shapes.
+pub fn pvband_area(outer: &Grid, inner: &Grid, level: f32) -> usize {
+    let bo = outer.binarize(level);
+    let bi = inner.binarize(level);
+    bo.as_slice()
+        .iter()
+        .zip(bi.as_slice())
+        .filter(|(a, b)| a != b)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    #[test]
+    fn l2_error_zero_on_identical() {
+        let g = Grid::filled(8, 8, 0.7);
+        assert_eq!(l2_error(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn l2_error_counts_differences() {
+        let a = Grid::zeros(4, 4);
+        let mut b = Grid::zeros(4, 4);
+        b.set(0, 0, 1.0);
+        b.set(1, 1, 1.0);
+        assert!((l2_error(&a, &b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pvband_is_symmetric_difference() {
+        let mut outer = Grid::zeros(16, 16);
+        outer.fill_rect(&Rect::new(2, 2, 10, 10), 1.0); // 64 px
+        let mut inner = Grid::zeros(16, 16);
+        inner.fill_rect(&Rect::new(4, 4, 8, 8), 1.0); // 16 px inside outer
+        assert_eq!(pvband_area(&outer, &inner, 0.5), 64 - 16);
+        assert_eq!(pvband_area(&outer, &outer, 0.5), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Process-window evaluation: dose and defocus corners.
+//!
+//! The paper's ILT reference [6] (MOSAIC) is *process-window aware*: a mask
+//! is only manufacturable if it prints across dose/focus variation, not
+//! just at the nominal condition. This module provides the corner models
+//! and the process-variation (PV) band metric used by the extension
+//! benches (DESIGN.md §4):
+//!
+//! - **dose corners** scale the aerial intensity by `1 ± δ`;
+//! - **defocus corners** widen the coherent kernels (a defocused beam
+//!   blurs), modeled by scaling every kernel sigma by `1 + φ`;
+//! - the **PV band** is the set of pixels whose printed state differs
+//!   between the outermost corners — its area is a standard printability
+//!   robustness metric.
+
+use crate::aerial::aerial_image;
+use crate::kernel::{CoherentKernel, KernelBank};
+use crate::metrics::pvband_area;
+use crate::resist::{combine_double_pattern, resist_threshold};
+use crate::LithoConfig;
+use ldmo_geom::Grid;
+
+/// One process condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessCorner {
+    /// Dose multiplier applied to the aerial intensity (1.0 = nominal).
+    pub dose: f32,
+    /// Relative defocus blur: every kernel sigma is scaled by
+    /// `1 + defocus` (0.0 = best focus).
+    pub defocus: f64,
+}
+
+impl ProcessCorner {
+    /// The nominal condition.
+    pub const NOMINAL: ProcessCorner = ProcessCorner {
+        dose: 1.0,
+        defocus: 0.0,
+    };
+
+    /// The symmetric corner set `{nominal, ±dose, +defocus}` used by the
+    /// extension benches.
+    pub fn standard_set(dose_delta: f32, defocus: f64) -> Vec<ProcessCorner> {
+        vec![
+            ProcessCorner::NOMINAL,
+            ProcessCorner {
+                dose: 1.0 + dose_delta,
+                defocus: 0.0,
+            },
+            ProcessCorner {
+                dose: 1.0 - dose_delta,
+                defocus: 0.0,
+            },
+            ProcessCorner {
+                dose: 1.0,
+                defocus,
+            },
+        ]
+    }
+}
+
+/// A kernel bank re-derived for a defocused condition.
+///
+/// # Panics
+///
+/// Panics if `1 + defocus <= 0`.
+pub fn defocused_bank(cfg: &LithoConfig, defocus: f64) -> KernelBank {
+    let scale = 1.0 + defocus;
+    assert!(scale > 0.0, "defocus must keep sigmas positive");
+    let total = cfg.total_kernel_weight();
+    let w1 = total * cfg.primary_weight_fraction;
+    let w2 = total - w1;
+    let px = cfg.nm_per_px;
+    let primary = if cfg.ring_amplitude > 0.0 {
+        CoherentKernel::difference_of_gaussians(
+            cfg.sigma_primary * scale / px,
+            cfg.ring_sigma * scale / px,
+            cfg.ring_amplitude,
+            w1,
+        )
+    } else {
+        CoherentKernel::gaussian(cfg.sigma_primary * scale / px, w1)
+    };
+    KernelBank::new(vec![
+        primary,
+        CoherentKernel::gaussian(cfg.sigma_secondary * scale / px, w2),
+    ])
+}
+
+/// Prints a double-patterning mask pair at a process corner.
+pub fn print_at_corner(
+    mask1: &Grid,
+    mask2: &Grid,
+    corner: ProcessCorner,
+    cfg: &LithoConfig,
+) -> Grid {
+    let bank = defocused_bank(cfg, corner.defocus);
+    let print_one = |mask: &Grid| {
+        let mut aerial = aerial_image(mask, &bank).intensity;
+        if corner.dose != 1.0 {
+            aerial.map_inplace(|v| v * corner.dose);
+        }
+        resist_threshold(&aerial, cfg)
+    };
+    combine_double_pattern(&print_one(mask1), &print_one(mask2))
+}
+
+/// Process-window summary of a mask pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessWindowReport {
+    /// PV-band area in pixels (symmetric difference between the highest-
+    /// and lowest-dose prints).
+    pub pvband_px: usize,
+    /// Printed area (pixels above the print level) per corner, in the
+    /// order the corners were given.
+    pub printed_area_px: Vec<usize>,
+}
+
+/// Evaluates a mask pair across `corners` and reports the PV band between
+/// the extreme dose corners.
+///
+/// # Panics
+///
+/// Panics if `corners` is empty.
+pub fn process_window_report(
+    mask1: &Grid,
+    mask2: &Grid,
+    corners: &[ProcessCorner],
+    cfg: &LithoConfig,
+) -> ProcessWindowReport {
+    assert!(!corners.is_empty(), "need at least one corner");
+    let prints: Vec<Grid> = corners
+        .iter()
+        .map(|&c| print_at_corner(mask1, mask2, c, cfg))
+        .collect();
+    let printed_area_px = prints
+        .iter()
+        .map(|p| p.count_above(cfg.print_level))
+        .collect();
+    // extreme dose corners for the PV band
+    let hi = corners
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.dose.total_cmp(&b.1.dose))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let lo = corners
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.dose.total_cmp(&b.1.dose))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    ProcessWindowReport {
+        pvband_px: pvband_area(&prints[hi], &prints[lo], cfg.print_level),
+        printed_area_px,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    fn masks() -> (Grid, Grid, LithoConfig) {
+        let cfg = LithoConfig::default();
+        let mut m1 = Grid::zeros(224, 224);
+        m1.fill_rect(&Rect::new(20, 20, 110, 110), 1.0);
+        let mut m2 = Grid::zeros(224, 224);
+        m2.fill_rect(&Rect::new(130, 130, 214, 214), 1.0);
+        (m1, m2, cfg)
+    }
+
+    #[test]
+    fn higher_dose_prints_more_area() {
+        let (m1, m2, cfg) = masks();
+        let lo = print_at_corner(&m1, &m2, ProcessCorner { dose: 0.9, defocus: 0.0 }, &cfg);
+        let hi = print_at_corner(&m1, &m2, ProcessCorner { dose: 1.1, defocus: 0.0 }, &cfg);
+        assert!(
+            hi.count_above(0.5) > lo.count_above(0.5),
+            "dose monotonicity violated: {} vs {}",
+            hi.count_above(0.5),
+            lo.count_above(0.5)
+        );
+    }
+
+    #[test]
+    fn nominal_corner_matches_plain_simulation() {
+        let (m1, m2, cfg) = masks();
+        let corner = print_at_corner(&m1, &m2, ProcessCorner::NOMINAL, &cfg);
+        let bank = KernelBank::paper_bank(&cfg);
+        let direct = crate::simulate_print_pair(&m1, &m2, &bank, &cfg);
+        assert_eq!(corner, direct);
+    }
+
+    #[test]
+    fn defocus_widens_kernels() {
+        let cfg = LithoConfig::default();
+        let nominal = defocused_bank(&cfg, 0.0);
+        let blurred = defocused_bank(&cfg, 0.2);
+        assert!(blurred.interaction_radius() > nominal.interaction_radius());
+        // weight is preserved
+        assert!((blurred.total_weight() - nominal.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pvband_nonzero_under_dose_swing() {
+        let (m1, m2, cfg) = masks();
+        let report = process_window_report(
+            &m1,
+            &m2,
+            &ProcessCorner::standard_set(0.1, 0.15),
+            &cfg,
+        );
+        assert!(report.pvband_px > 0);
+        assert_eq!(report.printed_area_px.len(), 4);
+    }
+
+    #[test]
+    fn zero_dose_swing_gives_zero_pvband() {
+        let (m1, m2, cfg) = masks();
+        let report =
+            process_window_report(&m1, &m2, &[ProcessCorner::NOMINAL, ProcessCorner::NOMINAL], &cfg);
+        assert_eq!(report.pvband_px, 0);
+    }
+
+    #[test]
+    fn standard_set_contains_nominal_first() {
+        let set = ProcessCorner::standard_set(0.08, 0.1);
+        assert_eq!(set[0], ProcessCorner::NOMINAL);
+        assert_eq!(set.len(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Constant-threshold sigmoid resist model (paper Eq. 2) and the
+//! double-patterning image union (paper Eq. 3).
+
+use crate::LithoConfig;
+use ldmo_geom::Grid;
+
+/// Numerically stable logistic sigmoid `1 / (1 + e^{-x})`.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Applies the resist model `T = sigmoid(θz (I − I_th))` to an aerial image
+/// (paper Eq. 2 with the paper's constants from [`LithoConfig`]).
+pub fn resist_threshold(intensity: &Grid, cfg: &LithoConfig) -> Grid {
+    let theta = cfg.theta_z;
+    let ith = cfg.intensity_threshold;
+    intensity.map(|i| sigmoid(theta * (i - ith)))
+}
+
+/// Combines two printed images into the double-patterning result
+/// `T = min(T1 + T2, 1)` (paper Eq. 3).
+///
+/// # Panics
+///
+/// Panics if the two grids have different shapes.
+pub fn combine_double_pattern(t1: &Grid, t2: &Grid) -> Grid {
+    t1.zip_map(t2, |a, b| (a + b).min(1.0))
+        .expect("printed images must share a shape")
+}
+
+/// Generalization of Eq. 3 to `k` masks: `T = min(Σ_i T_i, 1)`.
+///
+/// # Panics
+///
+/// Panics if `prints` is empty or shapes differ.
+pub fn combine_prints(prints: &[Grid]) -> Grid {
+    assert!(!prints.is_empty(), "need at least one printed image");
+    let mut acc = prints[0].clone();
+    for t in &prints[1..] {
+        acc = acc
+            .zip_map(t, |a, b| a + b)
+            .expect("printed images must share a shape");
+    }
+    acc.map(|v| v.min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sigmoid_reference_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 0.0001);
+        // symmetry: s(-x) = 1 - s(x)
+        for &x in &[0.1f32, 1.0, 3.5, 20.0] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!(sigmoid(f32::MAX).is_finite());
+        assert!(sigmoid(f32::MIN).is_finite());
+    }
+
+    #[test]
+    fn resist_threshold_cuts_at_ith() {
+        let cfg = LithoConfig::default();
+        let g = Grid::from_vec(
+            3,
+            1,
+            vec![
+                cfg.intensity_threshold - 0.02,
+                cfg.intensity_threshold,
+                cfg.intensity_threshold + 0.02,
+            ],
+        );
+        let t = resist_threshold(&g, &cfg);
+        assert!(t.get(0, 0) < 0.1);
+        assert!((t.get(1, 0) - 0.5).abs() < 1e-6);
+        assert!(t.get(2, 0) > 0.9);
+    }
+
+    #[test]
+    fn combine_clamps_at_one() {
+        let a = Grid::from_vec(2, 1, vec![0.8, 0.3]);
+        let b = Grid::from_vec(2, 1, vec![0.7, 0.2]);
+        let t = combine_double_pattern(&a, &b);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert!((t.get(1, 0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn combine_rejects_shape_mismatch() {
+        let a = Grid::zeros(2, 2);
+        let b = Grid::zeros(3, 2);
+        let _ = combine_double_pattern(&a, &b);
+    }
+
+    proptest! {
+        #[test]
+        fn sigmoid_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+            if a < b {
+                prop_assert!(sigmoid(a) <= sigmoid(b));
+            }
+        }
+
+        #[test]
+        fn combine_commutative(va in proptest::collection::vec(0.0f32..1.0, 9),
+                               vb in proptest::collection::vec(0.0f32..1.0, 9)) {
+            let a = Grid::from_vec(3, 3, va);
+            let b = Grid::from_vec(3, 3, vb);
+            prop_assert_eq!(combine_double_pattern(&a, &b), combine_double_pattern(&b, &a));
+        }
+
+        #[test]
+        fn combine_bounded(va in proptest::collection::vec(0.0f32..1.0, 9),
+                           vb in proptest::collection::vec(0.0f32..1.0, 9)) {
+            let a = Grid::from_vec(3, 3, va);
+            let b = Grid::from_vec(3, 3, vb);
+            let t = combine_double_pattern(&a, &b);
+            prop_assert!(t.min() >= 0.0 && t.max() <= 1.0);
+        }
+    }
+}

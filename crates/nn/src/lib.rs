@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+//! # ldmo-nn — a from-scratch CPU neural-network substrate
+//!
+//! The paper trains a ResNet18 regressor (224×224×1 grayscale input, Adam
+//! optimizer, mean-absolute-error loss) to predict the post-ILT
+//! printability score of a decomposition. No deep-learning framework is
+//! available to this reproduction, so this crate implements the required
+//! subset from scratch:
+//!
+//! - [`Tensor`] — dense NCHW `f32` tensors;
+//! - [`layers`] — `Conv2d` (im2col + GEMM), `BatchNorm2d`, `ReLU`,
+//!   `MaxPool2d`, global average pooling, `Linear`, residual
+//!   [`layers::BasicBlock`]s and a [`layers::Sequential`] container, each
+//!   with hand-written backward passes;
+//! - [`optim`] — Adam (the paper's choice) and SGD;
+//! - [`loss`] — MAE (the paper's Eq. 10) and MSE;
+//! - [`resnet`] — the ResNet regression network: `resnet18()` builds the
+//!   paper's exact topology; `resnet_lite()` is a narrower variant for
+//!   CPU-scale training (same architecture family, documented in
+//!   DESIGN.md);
+//! - [`serialize`] — a minimal binary weight format for saving/loading
+//!   trained predictors.
+//!
+//! Every layer's backward pass is validated against finite differences in
+//! the test suite.
+//!
+//! ```
+//! use ldmo_nn::{layers::{Layer, Linear}, Tensor};
+//!
+//! let mut lin = Linear::new(4, 2, 42);
+//! let x = Tensor::from_vec(vec![1, 4], vec![0.5, -0.25, 1.0, 0.0]);
+//! let y = lin.forward(&x, false);
+//! assert_eq!(y.shape(), &[1, 2]);
+//! ```
+
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod resnet;
+pub mod serialize;
+mod tensor;
+
+pub use tensor::Tensor;
+
+/// Errors produced by the NN substrate.
+#[derive(Debug)]
+pub enum NnError {
+    /// Weight (de)serialization failed.
+    Io(std::io::Error),
+    /// A serialized checkpoint did not match the network structure.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            NnError::ShapeMismatch { detail } => {
+                write!(f, "checkpoint does not match network: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            NnError::ShapeMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}

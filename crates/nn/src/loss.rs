@@ -1,0 +1,149 @@
+//! Regression losses: mean absolute error (the paper's Eq. 10 — chosen to
+//! be robust to the label noise the ILT-based labeling introduces) and mean
+//! squared error.
+
+use crate::Tensor;
+
+/// Mean absolute error `Σ |ŷ − y| / n` (paper Eq. 10).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mae_loss(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.len() as f64;
+    (pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&a, &b)| f64::from((a - b).abs()))
+        .sum::<f64>()
+        / n) as f32
+}
+
+/// Gradient of [`mae_loss`] w.r.t. `pred`: `sign(ŷ − y) / n`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mae_loss_grad(pred: &Tensor, target: &Tensor) -> Tensor {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.len() as f32;
+    let data = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&a, &b)| {
+            if a > b {
+                1.0 / n
+            } else if a < b {
+                -1.0 / n
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(pred.shape().to_vec(), data)
+}
+
+/// Mean squared error `Σ (ŷ − y)² / n`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.len() as f64;
+    (pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / n) as f32
+}
+
+/// Gradient of [`mse_loss`] w.r.t. `pred`: `2 (ŷ − y) / n`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss_grad(pred: &Tensor, target: &Tensor) -> Tensor {
+    assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+    let n = pred.len() as f32;
+    let data = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&a, &b)| 2.0 * (a - b) / n)
+        .collect();
+    Tensor::from_vec(pred.shape().to_vec(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_reference_values() {
+        let p = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        let t = Tensor::from_vec(vec![4], vec![1.0, 0.0, 5.0, 4.0]);
+        assert!((mae_loss(&p, &t) - 1.0).abs() < 1e-7); // (0+2+2+0)/4
+    }
+
+    #[test]
+    fn mae_grad_is_scaled_sign() {
+        let p = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        let t = Tensor::from_vec(vec![4], vec![1.0, 0.0, 5.0, 4.0]);
+        let g = mae_loss_grad(&p, &t);
+        assert_eq!(g.as_slice(), &[0.0, 0.25, -0.25, 0.0]);
+    }
+
+    #[test]
+    fn mse_reference_values() {
+        let p = Tensor::from_vec(vec![2], vec![1.0, 3.0]);
+        let t = Tensor::from_vec(vec![2], vec![0.0, 1.0]);
+        assert!((mse_loss(&p, &t) - 2.5).abs() < 1e-7); // (1+4)/2
+        let g = mse_loss_grad(&p, &t);
+        assert_eq!(g.as_slice(), &[1.0, 2.0]); // 2·d/2
+    }
+
+    #[test]
+    fn zero_loss_on_identical() {
+        let p = Tensor::filled(vec![3], 1.5);
+        assert_eq!(mae_loss(&p, &p), 0.0);
+        assert_eq!(mse_loss(&p, &p), 0.0);
+        assert!(mae_loss_grad(&p, &p).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_rejected() {
+        let p = Tensor::zeros(vec![2]);
+        let t = Tensor::zeros(vec![3]);
+        let _ = mae_loss(&p, &t);
+    }
+
+    #[test]
+    fn mae_grad_matches_fd() {
+        let p = Tensor::from_vec(vec![3], vec![0.5, -1.0, 2.0]);
+        let t = Tensor::from_vec(vec![3], vec![0.0, 0.0, 0.0]);
+        let g = mae_loss_grad(&p, &t);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut pa = p.clone();
+            pa.as_mut_slice()[i] += eps;
+            let mut pb = p.clone();
+            pb.as_mut_slice()[i] -= eps;
+            let numeric = (mae_loss(&pa, &t) - mae_loss(&pb, &t)) / (2.0 * eps);
+            assert!(
+                (numeric - g.as_slice()[i]).abs() < 1e-3,
+                "at {i}: {numeric} vs {}",
+                g.as_slice()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! k-medoids clustering (PAM) over a precomputed distance matrix.
+//!
+//! "The representative objects of k-medoids clustering are called medoids.
+//! They are the real points that exist in the cluster, and the k-medoids
+//! clustering is less sensitive to noise points compared to k-means. The
+//! performance of k-medoids is evaluated by the sum of layout distance
+//! (SLD)" — paper Eq. 8.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Indices of the medoid of each cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster id (index into `medoids`) per input point.
+    pub assignment: Vec<usize>,
+    /// Final sum of distances from each point to its medoid (Eq. 8's SLD).
+    pub sld: f64,
+}
+
+impl Clustering {
+    /// The members of cluster `c` (including its medoid).
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+}
+
+/// Runs PAM k-medoids on a symmetric `dist` matrix, seeded.
+///
+/// Alternates assignment and medoid-update steps until the SLD stops
+/// improving. `k` is clamped to the point count.
+///
+/// # Panics
+///
+/// Panics if `dist` is empty or not square, or if `k == 0`.
+pub fn kmedoids(dist: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
+    let n = dist.len();
+    assert!(n > 0, "need at least one point");
+    assert!(dist.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(k > 0, "need at least one cluster");
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let mut medoids: Vec<usize> = indices[..k].to_vec();
+    let mut assignment = assign(dist, &medoids);
+    let mut sld = score(dist, &medoids, &assignment);
+    loop {
+        // medoid update: within each cluster pick the member minimizing the
+        // intra-cluster distance sum
+        let mut new_medoids = medoids.clone();
+        for c in 0..k {
+            let members: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &a)| (a == c).then_some(i))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let sa: f64 = members.iter().map(|&m| dist[a][m]).sum();
+                    let sb: f64 = members.iter().map(|&m| dist[b][m]).sum();
+                    sa.total_cmp(&sb)
+                })
+                .expect("non-empty members");
+            new_medoids[c] = best;
+        }
+        let new_assignment = assign(dist, &new_medoids);
+        let new_sld = score(dist, &new_medoids, &new_assignment);
+        if new_sld + 1e-12 < sld {
+            medoids = new_medoids;
+            assignment = new_assignment;
+            sld = new_sld;
+        } else {
+            break;
+        }
+    }
+    Clustering {
+        medoids,
+        assignment,
+        sld,
+    }
+}
+
+fn assign(dist: &[Vec<f64>], medoids: &[usize]) -> Vec<usize> {
+    (0..dist.len())
+        .map(|i| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| dist[i][a].total_cmp(&dist[i][b]))
+                .map(|(c, _)| c)
+                .expect("at least one medoid")
+        })
+        .collect()
+}
+
+fn score(dist: &[Vec<f64>], medoids: &[usize], assignment: &[usize]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| dist[i][medoids[c]])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix of points on a line.
+    fn line_dist(points: &[f64]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .map(|&a| points.iter().map(|&b| (a - b).abs()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn two_obvious_clusters() {
+        let pts = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let c = kmedoids(&line_dist(&pts), 2, 7);
+        assert_eq!(c.medoids.len(), 2);
+        // points 0-2 share a cluster; 3-5 share the other
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[1], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+        // medoids are the central points of each triple
+        let mut ms = c.medoids.clone();
+        ms.sort_unstable();
+        assert_eq!(ms, vec![1, 4]);
+        assert!((c.sld - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_equal_n_gives_zero_sld() {
+        let pts = [1.0, 5.0, 9.0];
+        let c = kmedoids(&line_dist(&pts), 3, 1);
+        assert_eq!(c.sld, 0.0);
+        let mut ms = c.medoids.clone();
+        ms.sort_unstable();
+        assert_eq!(ms, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let pts = [1.0, 2.0];
+        let c = kmedoids(&line_dist(&pts), 10, 3);
+        assert_eq!(c.medoids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_picks_central_medoid() {
+        let pts = [0.0, 1.0, 2.0, 3.0, 10.0];
+        let c = kmedoids(&line_dist(&pts), 1, 5);
+        // the point minimizing total distance is 2.0 (index 2)
+        assert_eq!(c.medoids, vec![2]);
+        assert_eq!(c.assignment, vec![0; 5]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = [0.0, 0.5, 4.0, 4.5, 9.0, 9.5];
+        let d = line_dist(&pts);
+        assert_eq!(kmedoids(&d, 3, 42), kmedoids(&d, 3, 42));
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let pts = [0.0, 0.1, 5.0, 5.1, 9.9];
+        let c = kmedoids(&line_dist(&pts), 2, 11);
+        let mut all: Vec<usize> = (0..2).flat_map(|k| c.members(k)).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_matrix_rejected() {
+        let _ = kmedoids(&[], 1, 0);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # ldmo-vision — SIFT-lite features, layout similarity, k-medoids
+//!
+//! Section IV-A of the paper samples representative layouts for CNN
+//! training by (1) extracting SIFT features from each layout image,
+//! (2) computing a pairwise layout similarity from matched feature
+//! distances (Algorithm 2, Eq. 7), and (3) clustering with k-medoids
+//! (Eq. 8) and drawing a few layouts per cluster.
+//!
+//! This crate implements the whole pipeline from scratch:
+//!
+//! - [`sift`] — a compact SIFT: Gaussian scale space, difference of
+//!   Gaussians, 3-D local extrema, orientation assignment, and the classic
+//!   4×4×8 = 128-dimensional gradient-histogram descriptor with
+//!   normalize–clip–renormalize post-processing;
+//! - [`similarity`] — Eq. 7's thresholded feature distance
+//!   (`Dth = 0.7`) and Algorithm 2's greedy matching + top-`c` sum;
+//! - [`kmedoids`] — PAM-style k-medoids over a precomputed distance
+//!   matrix, with the paper's sum-of-layout-distances (SLD) objective.
+//!
+//! ```
+//! use ldmo_geom::{Grid, Rect};
+//! use ldmo_vision::sift::{extract_features, SiftConfig};
+//!
+//! let mut img = Grid::zeros(64, 64);
+//! img.fill_rect(&Rect::new(16, 16, 48, 48), 1.0);
+//! let feats = extract_features(&img, &SiftConfig::default());
+//! // a square produces corner-like keypoints
+//! assert!(!feats.is_empty());
+//! ```
+
+pub mod kmedoids;
+pub mod pyramid;
+pub mod sift;
+pub mod similarity;

@@ -1,0 +1,176 @@
+//! Gaussian scale space and difference-of-Gaussians pyramid.
+
+use ldmo_geom::Grid;
+
+/// Separable Gaussian blur with standard deviation `sigma` (pixels),
+/// truncated at `3σ`, edge-clamped (replicate padding), so flat regions
+/// stay flat right up to the border.
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0`.
+pub fn gaussian_blur(img: &Grid, sigma: f64) -> Grid {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as i64;
+    let mut profile: Vec<f32> = (-radius..=radius)
+        .map(|i| (-((i * i) as f64) / (2.0 * sigma * sigma)).exp() as f32)
+        .collect();
+    let sum: f32 = profile.iter().sum();
+    for p in &mut profile {
+        *p /= sum;
+    }
+    let tmp = blur_axis(img, &profile, true);
+    blur_axis(&tmp, &profile, false)
+}
+
+fn blur_axis(img: &Grid, profile: &[f32], horizontal: bool) -> Grid {
+    let (w, h) = img.shape();
+    let c = (profile.len() / 2) as i64;
+    let mut out = Grid::zeros(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            for (k, &p) in profile.iter().enumerate() {
+                let off = k as i64 - c;
+                let (sx, sy) = if horizontal {
+                    ((x as i64 + off).clamp(0, w as i64 - 1), y as i64)
+                } else {
+                    (x as i64, (y as i64 + off).clamp(0, h as i64 - 1))
+                };
+                acc += img.get(sx as usize, sy as usize) * p;
+            }
+            out.set(x, y, acc);
+        }
+    }
+    out
+}
+
+/// One octave of the scale space: progressively blurred images plus their
+/// pairwise differences (DoG levels).
+#[derive(Debug, Clone)]
+pub struct Octave {
+    /// Blurred images, `scales + 3` of them.
+    pub gaussians: Vec<Grid>,
+    /// Difference-of-Gaussian levels, `gaussians.len() - 1` of them.
+    pub dogs: Vec<Grid>,
+    /// Downsampling factor of this octave relative to the input.
+    pub downsample: usize,
+}
+
+/// The full multi-octave DoG pyramid.
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    /// Octaves, finest first.
+    pub octaves: Vec<Octave>,
+}
+
+/// Builds a DoG pyramid with `octaves` octaves and `scales` sampled scales
+/// per octave (each octave holds `scales + 2` DoG levels so that extrema
+/// can be compared across scale), starting at `sigma0`.
+///
+/// # Panics
+///
+/// Panics if `octaves == 0` or `scales == 0`, or when the image is too
+/// small for the requested octave count.
+pub fn build_pyramid(img: &Grid, octaves: usize, scales: usize, sigma0: f64) -> Pyramid {
+    assert!(octaves > 0 && scales > 0, "need at least one octave/scale");
+    let k = 2f64.powf(1.0 / scales as f64);
+    let mut current = img.clone();
+    let mut downsample = 1usize;
+    let mut out = Vec::with_capacity(octaves);
+    for _ in 0..octaves {
+        assert!(
+            current.width() >= 8 && current.height() >= 8,
+            "image too small for the requested octave count"
+        );
+        let mut gaussians = Vec::with_capacity(scales + 3);
+        for s in 0..scales + 3 {
+            let sigma = sigma0 * k.powi(s as i32);
+            gaussians.push(gaussian_blur(&current, sigma));
+        }
+        let dogs = gaussians
+            .windows(2)
+            .map(|pair| {
+                pair[1]
+                    .zip_map(&pair[0], |a, b| a - b)
+                    .expect("same shape within an octave")
+            })
+            .collect();
+        out.push(Octave {
+            gaussians,
+            dogs,
+            downsample,
+        });
+        current = current.downsample_avg(2);
+        downsample *= 2;
+    }
+    Pyramid { octaves: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    #[test]
+    fn blur_preserves_flat_images() {
+        let img = Grid::filled(16, 16, 0.7);
+        let b = gaussian_blur(&img, 2.0);
+        for v in b.as_slice() {
+            assert!((v - 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn blur_preserves_mass_in_interior() {
+        // replicate padding keeps the DC gain at exactly 1
+        let mut img = Grid::zeros(32, 32);
+        img.set(16, 16, 1.0);
+        let b = gaussian_blur(&img, 1.5);
+        assert!((b.sum() - 1.0).abs() < 1e-4);
+        // peak stays at the impulse
+        assert!(b.get(16, 16) >= b.max() - 1e-6);
+    }
+
+    #[test]
+    fn blur_smooths_edges() {
+        let mut img = Grid::zeros(32, 32);
+        img.fill_rect(&Rect::new(0, 0, 16, 32), 1.0);
+        let b = gaussian_blur(&img, 2.0);
+        // the edge transition spreads: midpoint near 0.5
+        assert!((b.get(16, 16) - 0.5).abs() < 0.15);
+        assert!(b.get(2, 16) > 0.95);
+        assert!(b.get(30, 16) < 0.05);
+    }
+
+    #[test]
+    fn pyramid_structure() {
+        let img = Grid::filled(64, 64, 0.0);
+        let p = build_pyramid(&img, 3, 2, 1.6);
+        assert_eq!(p.octaves.len(), 3);
+        for (i, oct) in p.octaves.iter().enumerate() {
+            assert_eq!(oct.gaussians.len(), 5); // scales + 3
+            assert_eq!(oct.dogs.len(), 4);
+            assert_eq!(oct.downsample, 1 << i);
+            assert_eq!(oct.gaussians[0].width(), 64 >> i);
+        }
+    }
+
+    #[test]
+    fn dog_of_flat_image_is_zero() {
+        let img = Grid::filled(32, 32, 0.4);
+        let p = build_pyramid(&img, 2, 2, 1.6);
+        for oct in &p.octaves {
+            for dog in &oct.dogs {
+                assert!(dog.max().abs() < 1e-5 && dog.min().abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_image_rejected_for_deep_pyramid() {
+        let img = Grid::filled(16, 16, 0.0);
+        let _ = build_pyramid(&img, 4, 2, 1.6);
+    }
+}

@@ -1,0 +1,338 @@
+//! SIFT-lite: keypoint detection and 128-dimensional descriptors.
+//!
+//! A compact re-implementation of Lowe's pipeline sufficient for layout
+//! similarity: DoG extrema (no sub-pixel refinement — layouts live on an
+//! integer grid), dominant-orientation assignment from a 36-bin gradient
+//! histogram, and the standard 4×4 spatial × 8 orientation descriptor with
+//! normalize → clip(0.2) → renormalize post-processing, making descriptors
+//! robust to the layout translations and rotations the paper cares about
+//! (Fig. 6).
+
+use crate::pyramid::{build_pyramid, Pyramid};
+use ldmo_geom::{Grid, Vec2};
+
+/// SIFT extraction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiftConfig {
+    /// Number of pyramid octaves.
+    pub octaves: usize,
+    /// Scales per octave.
+    pub scales: usize,
+    /// Base blur sigma.
+    pub sigma0: f64,
+    /// Minimum |DoG| for a keypoint (contrast threshold).
+    pub contrast_threshold: f32,
+    /// Border margin (pixels at the octave scale) excluded from detection.
+    pub border: usize,
+}
+
+impl Default for SiftConfig {
+    fn default() -> Self {
+        SiftConfig {
+            octaves: 3,
+            scales: 2,
+            sigma0: 1.6,
+            contrast_threshold: 0.02,
+            border: 5,
+        }
+    }
+}
+
+/// A detected keypoint with its descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    /// Position in input-image pixels.
+    pub pos: Vec2,
+    /// Scale (sigma, in input-image pixels).
+    pub scale: f64,
+    /// Dominant orientation, radians.
+    pub orientation: f64,
+    /// 128-dimensional descriptor, L2-normalized.
+    pub descriptor: [f32; 128],
+}
+
+impl Feature {
+    /// Euclidean distance between two descriptors (in `[0, √2]` for
+    /// normalized descriptors).
+    pub fn descriptor_dist(&self, other: &Feature) -> f64 {
+        self.descriptor
+            .iter()
+            .zip(&other.descriptor)
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Extracts SIFT features from a grayscale image.
+pub fn extract_features(img: &Grid, cfg: &SiftConfig) -> Vec<Feature> {
+    // limit octaves so every octave keeps at least 8×8 pixels
+    let max_octaves = {
+        let mut o = 0usize;
+        let mut s = img.width().min(img.height());
+        while s >= 8 && o < cfg.octaves {
+            o += 1;
+            s /= 2;
+        }
+        o.max(1)
+    };
+    let pyramid = build_pyramid(img, max_octaves, cfg.scales, cfg.sigma0);
+    let mut features = Vec::new();
+    detect_and_describe(&pyramid, cfg, &mut features);
+    features
+}
+
+fn detect_and_describe(pyramid: &Pyramid, cfg: &SiftConfig, out: &mut Vec<Feature>) {
+    let k = 2f64.powf(1.0 / cfg.scales as f64);
+    for octave in &pyramid.octaves {
+        let (w, h) = octave.dogs[0].shape();
+        if w <= 2 * cfg.border || h <= 2 * cfg.border {
+            continue;
+        }
+        for level in 1..octave.dogs.len() - 1 {
+            let below = &octave.dogs[level - 1];
+            let here = &octave.dogs[level];
+            let above = &octave.dogs[level + 1];
+            for y in cfg.border..h - cfg.border {
+                for x in cfg.border..w - cfg.border {
+                    let v = here.get(x, y);
+                    if v.abs() < cfg.contrast_threshold {
+                        continue;
+                    }
+                    if !is_extremum(below, here, above, x, y, v) {
+                        continue;
+                    }
+                    // orientation + descriptor from the matching gaussian
+                    let gauss = &octave.gaussians[level];
+                    let sigma_local = cfg.sigma0 * k.powi(level as i32);
+                    if let Some(orientation) = dominant_orientation(gauss, x, y, sigma_local) {
+                        let descriptor = describe(gauss, x, y, sigma_local, orientation);
+                        out.push(Feature {
+                            pos: Vec2::new(
+                                (x * octave.downsample) as f64,
+                                (y * octave.downsample) as f64,
+                            ),
+                            scale: sigma_local * octave.downsample as f64,
+                            orientation,
+                            descriptor,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn is_extremum(below: &Grid, here: &Grid, above: &Grid, x: usize, y: usize, v: f32) -> bool {
+    let mut is_max = true;
+    let mut is_min = true;
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            let (nx, ny) = ((x as i64 + dx) as usize, (y as i64 + dy) as usize);
+            for (grid, skip_center) in [(below, false), (here, true), (above, false)] {
+                if skip_center && dx == 0 && dy == 0 {
+                    continue;
+                }
+                let n = grid.get(nx, ny);
+                if n >= v {
+                    is_max = false;
+                }
+                if n <= v {
+                    is_min = false;
+                }
+                if !is_max && !is_min {
+                    return false;
+                }
+            }
+        }
+    }
+    is_max || is_min
+}
+
+fn gradient(img: &Grid, x: usize, y: usize) -> (f64, f64) {
+    let (w, h) = img.shape();
+    let xm = img.get(x.saturating_sub(1), y);
+    let xp = img.get((x + 1).min(w - 1), y);
+    let ym = img.get(x, y.saturating_sub(1));
+    let yp = img.get(x, (y + 1).min(h - 1));
+    (f64::from(xp - xm) * 0.5, f64::from(yp - ym) * 0.5)
+}
+
+fn dominant_orientation(img: &Grid, x: usize, y: usize, sigma: f64) -> Option<f64> {
+    let radius = (4.5 * sigma).ceil() as i64;
+    let (w, h) = img.shape();
+    let mut hist = [0.0f64; 36];
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+            if nx < 0 || ny < 0 || nx as usize >= w || ny as usize >= h {
+                continue;
+            }
+            let (gx, gy) = gradient(img, nx as usize, ny as usize);
+            let mag = gx.hypot(gy);
+            if mag < 1e-9 {
+                continue;
+            }
+            let weight = (-((dx * dx + dy * dy) as f64) / (2.0 * (1.5 * sigma).powi(2))).exp();
+            let angle = gy.atan2(gx).rem_euclid(2.0 * std::f64::consts::PI);
+            let bin = ((angle / (2.0 * std::f64::consts::PI) * 36.0) as usize).min(35);
+            hist[bin] += mag * weight;
+        }
+    }
+    let (best_bin, &best) = hist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("36 bins");
+    if best <= 0.0 {
+        return None;
+    }
+    Some((best_bin as f64 + 0.5) / 36.0 * 2.0 * std::f64::consts::PI)
+}
+
+fn describe(img: &Grid, x: usize, y: usize, sigma: f64, orientation: f64) -> [f32; 128] {
+    let (w, h) = img.shape();
+    let mut desc = [0.0f32; 128];
+    // 4×4 grid of 8-bin histograms over a rotated window
+    let cell = 3.0 * sigma; // cell size in pixels
+    let half = 2.0 * cell;
+    let (sin_o, cos_o) = orientation.sin_cos();
+    let radius = (half * std::f64::consts::SQRT_2).ceil() as i64;
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+            if nx < 0 || ny < 0 || nx as usize >= w || ny as usize >= h {
+                continue;
+            }
+            // rotate the offset into the keypoint frame
+            let rx = cos_o * dx as f64 + sin_o * dy as f64;
+            let ry = -sin_o * dx as f64 + cos_o * dy as f64;
+            // which of the 4×4 cells does it land in?
+            let cx = (rx + half) / cell;
+            let cy = (ry + half) / cell;
+            if cx < 0.0 || cy < 0.0 || cx >= 4.0 || cy >= 4.0 {
+                continue;
+            }
+            let (gx, gy) = gradient(img, nx as usize, ny as usize);
+            let mag = gx.hypot(gy);
+            if mag < 1e-12 {
+                continue;
+            }
+            let angle = (gy.atan2(gx) - orientation).rem_euclid(2.0 * std::f64::consts::PI);
+            let obin = ((angle / (2.0 * std::f64::consts::PI) * 8.0) as usize).min(7);
+            let weight = (-(rx * rx + ry * ry) / (2.0 * half * half)).exp();
+            let idx = ((cy as usize) * 4 + cx as usize) * 8 + obin;
+            desc[idx] += (mag * weight) as f32;
+        }
+    }
+    normalize_descriptor(&mut desc);
+    desc
+}
+
+fn normalize_descriptor(desc: &mut [f32; 128]) {
+    let norm = |d: &[f32; 128]| d.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+    let n = norm(desc);
+    if n > 1e-12 {
+        for v in desc.iter_mut() {
+            *v = (f64::from(*v) / n) as f32;
+        }
+    }
+    // clip at 0.2 (robustness to illumination-like effects) and renormalize
+    for v in desc.iter_mut() {
+        *v = v.min(0.2);
+    }
+    let n = norm(desc);
+    if n > 1e-12 {
+        for v in desc.iter_mut() {
+            *v = (f64::from(*v) / n) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldmo_geom::Rect;
+
+    fn square_img(x0: i32, y0: i32, size: i32) -> Grid {
+        let mut img = Grid::zeros(96, 96);
+        img.fill_rect(&Rect::new(x0, y0, x0 + size, y0 + size), 1.0);
+        img
+    }
+
+    #[test]
+    fn flat_image_has_no_features() {
+        let img = Grid::filled(64, 64, 0.5);
+        assert!(extract_features(&img, &SiftConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn square_produces_features() {
+        let img = square_img(30, 30, 32);
+        let feats = extract_features(&img, &SiftConfig::default());
+        assert!(!feats.is_empty());
+        // descriptors are normalized
+        for f in &feats {
+            let n: f32 = f.descriptor.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-3, "norm {n}");
+        }
+    }
+
+    #[test]
+    fn translation_preserves_descriptors() {
+        // the same square translated: descriptors should match closely
+        let a = extract_features(&square_img(20, 20, 32), &SiftConfig::default());
+        let b = extract_features(&square_img(36, 28, 32), &SiftConfig::default());
+        assert!(!a.is_empty() && !b.is_empty());
+        // for each feature in a, its best match in b is close
+        let mut matched = 0;
+        for fa in &a {
+            let best = b
+                .iter()
+                .map(|fb| fa.descriptor_dist(fb))
+                .fold(f64::INFINITY, f64::min);
+            if best < 0.4 {
+                matched += 1;
+            }
+        }
+        assert!(
+            matched * 2 >= a.len(),
+            "only {matched}/{} features matched after translation",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn different_structures_have_distant_descriptors() {
+        // a square vs a thin horizontal bar: best-match distances should be
+        // larger on average than the translated-square case
+        let a = extract_features(&square_img(30, 30, 32), &SiftConfig::default());
+        let mut bar = Grid::zeros(96, 96);
+        bar.fill_rect(&Rect::new(10, 44, 86, 52), 1.0);
+        let b = extract_features(&bar, &SiftConfig::default());
+        assert!(!a.is_empty() && !b.is_empty());
+        let mean_best: f64 = a
+            .iter()
+            .map(|fa| {
+                b.iter()
+                    .map(|fb| fa.descriptor_dist(fb))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / a.len() as f64;
+        assert!(mean_best > 0.25, "mean best distance {mean_best}");
+    }
+
+    #[test]
+    fn keypoints_inside_image() {
+        let img = square_img(10, 50, 30);
+        for f in extract_features(&img, &SiftConfig::default()) {
+            assert!(f.pos.x >= 0.0 && f.pos.x < 96.0);
+            assert!(f.pos.y >= 0.0 && f.pos.y < 96.0);
+            assert!(f.scale > 0.0);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The complete Fig. 2 flow with a CNN predictor, compared on the spot
+//! against the litho-proxy and random selectors.
+//!
+//! ```sh
+//! cargo run --release --example full_flow -- [predictor.bin]
+//! ```
+//!
+//! When a weights file (from `train_predictor`) is given it is loaded;
+//! otherwise a small predictor is trained inline first (a few minutes).
+
+use ldmo::core::dataset::{build_dataset, DatasetConfig, SamplerKind};
+use ldmo::core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
+use ldmo::core::predictor::PrintabilityPredictor;
+use ldmo::core::sampling::SamplingConfig;
+use ldmo::core::trainer::{train, TrainConfig};
+use ldmo::layout::cells;
+use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
+
+fn make_predictor(weights: Option<&str>) -> PrintabilityPredictor {
+    let mut predictor = PrintabilityPredictor::lite(7);
+    if let Some(path) = weights {
+        match predictor.load(path) {
+            Ok(()) => {
+                println!("loaded predictor weights from {path}");
+                return predictor;
+            }
+            Err(e) => eprintln!("could not load {path} ({e}); training inline"),
+        }
+    }
+    println!("training a small predictor inline…");
+    let mut generator = LayoutGenerator::new(GeneratorConfig::default(), 2020);
+    let layouts = generator.generate_dataset(24);
+    let scfg = SamplingConfig {
+        clusters: 4,
+        per_cluster: 2,
+        max_per_layout: 6,
+        ..SamplingConfig::default()
+    };
+    let dataset = build_dataset(
+        &layouts,
+        &SamplerKind::Engineered,
+        &scfg,
+        &DatasetConfig::default(),
+    );
+    let _ = train(
+        &mut predictor,
+        &dataset,
+        &TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        },
+    );
+    predictor
+}
+
+fn main() {
+    let weights = std::env::args().nth(1);
+    let predictor = make_predictor(weights.as_deref());
+
+    let mut strategies: Vec<(&str, LdmoFlow)> = vec![
+        (
+            "CNN (ours)",
+            LdmoFlow::new(
+                FlowConfig::default(),
+                SelectionStrategy::Cnn(Box::new(predictor)),
+            ),
+        ),
+        (
+            "litho proxy",
+            LdmoFlow::new(FlowConfig::default(), SelectionStrategy::LithoProxy),
+        ),
+        (
+            "random",
+            LdmoFlow::new(FlowConfig::default(), SelectionStrategy::Random { seed: 3 }),
+        ),
+    ];
+
+    println!(
+        "\n{:<12} | {:>11} | {:>4} | {:>5} | {:>8} | {:>8}",
+        "cell", "strategy", "EPE#", "viol", "L2", "time (s)"
+    );
+    for name in ["BUF_X1", "NAND3_X2", "AOI211_X1"] {
+        let layout = cells::cell(name).expect("known cell");
+        for (label, flow) in &mut strategies {
+            let result = flow.run(&layout);
+            println!(
+                "{name:<12} | {label:>11} | {:>4} | {:>5} | {:>8.1} | {:>8.2}",
+                result.outcome.epe_violations(),
+                result.outcome.violations.count(),
+                result.outcome.l2,
+                result.timing.total().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Process-window analysis of optimized masks: evaluate EPE and PV band
+//! across dose/defocus corners (the robustness dimension MOSAIC [6] —
+//! the paper's ILT reference — optimizes for).
+//!
+//! ```sh
+//! cargo run --release --example process_window
+//! ```
+
+use ldmo::ilt::{optimize, IltConfig};
+use ldmo::layout::cells;
+use ldmo::litho::process::{print_at_corner, process_window_report, ProcessCorner};
+use ldmo::litho::{contour_length, measure_epe};
+
+fn main() {
+    let layout = cells::cell("BUF_X1").expect("known cell");
+    let cfg = IltConfig::default();
+
+    println!("optimizing BUF_X1 (checkerboard decomposition) …");
+    let out = optimize(&layout, &[0, 1, 1, 0], &cfg);
+    println!(
+        "nominal: EPE violations = {}, L2 = {:.1}",
+        out.epe_violations(),
+        out.l2
+    );
+
+    let corners = ProcessCorner::standard_set(0.08, 0.12);
+    let report = process_window_report(&out.masks[0], &out.masks[1], &corners, &cfg.litho);
+    println!("\nprocess corners (dose ±8%, defocus +12%):");
+    println!(
+        "{:>8} {:>9} | {:>12} | {:>6} | {:>14}",
+        "dose", "defocus", "printed px", "EPE#", "contour len px"
+    );
+    for (corner, &area) in corners.iter().zip(&report.printed_area_px) {
+        let printed = print_at_corner(&out.masks[0], &out.masks[1], *corner, &cfg.litho);
+        let epe = measure_epe(&printed, layout.patterns(), &cfg.litho);
+        println!(
+            "{:>8.2} {:>9.2} | {:>12} | {:>6} | {:>14.1}",
+            corner.dose,
+            corner.defocus,
+            area,
+            epe.violations(),
+            contour_length(&printed, cfg.litho.print_level)
+        );
+    }
+    println!("\nPV band (dose swing): {} px", report.pvband_px);
+}

@@ -1,0 +1,56 @@
+//! Quickstart: decompose one layout and optimize its masks.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ldmo::core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
+use ldmo::decomp::{generate_candidates, DecompConfig};
+use ldmo::geom::Rect;
+use ldmo::layout::classify::{classify_patterns, ClassifyConfig};
+use ldmo::layout::Layout;
+
+fn main() {
+    // A small contact layout: two close pairs (must be split across masks)
+    // plus one free contact.
+    let layout = Layout::new(
+        Rect::new(0, 0, 448, 448),
+        vec![
+            Rect::square(40, 40, 64),
+            Rect::square(160, 40, 64),  // 56 nm from the first: SP
+            Rect::square(40, 192, 64),  // 88 nm above the first: VP
+            Rect::square(160, 192, 64), // completes a 2×2 with mixed gaps
+            Rect::square(330, 330, 64), // isolated: NP
+        ],
+    );
+
+    println!("layout: {} contact patterns", layout.len());
+    for (i, class) in classify_patterns(&layout, &ClassifyConfig::default())
+        .iter()
+        .enumerate()
+    {
+        println!("  pattern {i}: {class:?}");
+    }
+
+    let candidates = generate_candidates(&layout, &DecompConfig::default());
+    println!("\n{} decomposition candidates (MST + n-wise):", candidates.len());
+    for c in &candidates {
+        println!("  {c:?}");
+    }
+
+    // Run the full LDMO flow. The litho-proxy selector needs no training;
+    // see examples/full_flow.rs for the CNN-driven version.
+    let mut flow = LdmoFlow::new(FlowConfig::default(), SelectionStrategy::LithoProxy);
+    let result = flow.run(&layout);
+
+    println!("\nselected decomposition: {:?}", result.assignment);
+    println!("attempts:               {}", result.attempts);
+    println!("EPE violations:         {}", result.outcome.epe_violations());
+    println!("print violations:       {}", result.outcome.violations.count());
+    println!("L2 error:               {:.1}", result.outcome.l2);
+    println!(
+        "time: {:.2}s selection + {:.2}s mask optimization",
+        result.timing.decomposition_selection.as_secs_f64(),
+        result.timing.mask_optimization.as_secs_f64()
+    );
+}

@@ -1,0 +1,72 @@
+//! Train the CNN printability predictor (the paper's Fig. 5 pipeline) and
+//! save its weights.
+//!
+//! ```sh
+//! cargo run --release --example train_predictor -- [pool_size] [out.bin]
+//! ```
+//!
+//! The defaults keep the run to a few minutes on one CPU core; scale
+//! `pool_size` up for a better predictor.
+
+use ldmo::core::dataset::{build_dataset, DatasetConfig, SamplerKind};
+use ldmo::core::predictor::PrintabilityPredictor;
+use ldmo::core::sampling::SamplingConfig;
+use ldmo::core::trainer::{evaluate_mae, train, TrainConfig};
+use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pool_size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "predictor.bin".to_owned());
+
+    // 1. layout pool (stand-in for the paper's 8000-layout corpus)
+    let mut generator = LayoutGenerator::new(GeneratorConfig::default(), 2020);
+    let layouts = generator.generate_dataset(pool_size);
+    println!("generated {} DRC-clean layouts", layouts.len());
+
+    // 2. sample representatives (SIFT + k-medoids) and decompositions
+    //    (MST + 3-wise), label by full ILT — the expensive step
+    let scfg = SamplingConfig {
+        clusters: 6,
+        per_cluster: 2,
+        max_per_layout: 8,
+        ..SamplingConfig::default()
+    };
+    let dcfg = DatasetConfig::default();
+    let label_start = Instant::now();
+    let dataset = build_dataset(&layouts, &SamplerKind::Engineered, &scfg, &dcfg).augmented();
+    println!(
+        "labeled {} (layout, decomposition) pairs in {:.1}s (incl. 4x symmetry augmentation)",
+        dataset.len(),
+        label_start.elapsed().as_secs_f64()
+    );
+
+    // 3. train the ResNet-lite regressor with Adam + MAE
+    let mut predictor = PrintabilityPredictor::lite(7);
+    let tcfg = TrainConfig {
+        epochs: 30,
+        batch_size: 8,
+        lr: 1e-3,
+        seed: 1,
+        ..TrainConfig::default()
+    };
+    let train_start = Instant::now();
+    let history = train(&mut predictor, &dataset, &tcfg);
+    println!(
+        "trained {} epochs in {:.1}s; MAE {:.3} -> {:.3}",
+        tcfg.epochs,
+        train_start.elapsed().as_secs_f64(),
+        history.epoch_mae.first().copied().unwrap_or(f32::NAN),
+        history.final_mae().unwrap_or(f32::NAN)
+    );
+    println!("eval MAE: {:.3}", evaluate_mae(&mut predictor, &dataset));
+
+    match predictor.save(&out_path) {
+        Ok(()) => println!("weights saved to {out_path}"),
+        Err(e) => eprintln!("failed to save weights: {e}"),
+    }
+}

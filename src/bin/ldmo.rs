@@ -1,0 +1,257 @@
+//! `ldmo` — command-line front end for the LDMO framework.
+//!
+//! ```text
+//! ldmo generate --seed 7 --count 3 --out layouts/     create layout files
+//! ldmo info layout.lay                                classes, candidates, DPL check
+//! ldmo decompose layout.lay                           list decomposition candidates
+//! ldmo optimize layout.lay --assignment 0,1,0         run ILT on one decomposition
+//! ldmo flow layout.lay [--predictor w.bin]            run the full Fig. 2 flow
+//! ldmo train --pool 24 --out w.bin                    train the CNN predictor
+//! ```
+
+use ldmo::core::dataset::{build_dataset, DatasetConfig, SamplerKind};
+use ldmo::core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
+use ldmo::core::predictor::PrintabilityPredictor;
+use ldmo::core::sampling::SamplingConfig;
+use ldmo::core::trainer::{train, TrainConfig};
+use ldmo::decomp::{generate_candidates, is_dpl_compatible, DecompConfig};
+use ldmo::ilt::{optimize, optimize_multi, IltConfig};
+use ldmo::layout::classify::{classify_patterns, ClassifyConfig};
+use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
+use ldmo::layout::{io as layout_io, Layout};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("decompose") => cmd_decompose(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("flow") => cmd_flow(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}' (try 'ldmo help')")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "ldmo — deep learning-driven layout decomposition and mask optimization\n\n\
+         subcommands:\n\
+         \x20 generate  --seed S --count N --out DIR   write random DRC-clean layouts\n\
+         \x20 info      FILE                           classes, candidate count, DPL check\n\
+         \x20 decompose FILE                           list decomposition candidates\n\
+         \x20 optimize  FILE --assignment 0,1,..       run ILT on one decomposition\n\
+         \x20           [--masks K] [--out PREFIX]\n\
+         \x20 flow      FILE [--predictor W.bin]       run the full LDMO flow\n\
+         \x20 train     --pool N --out W.bin           train the CNN predictor"
+    );
+}
+
+/// Reads `--flag value` style options; returns the positional arguments.
+fn split_options(args: &[String]) -> (Vec<&str>, std::collections::HashMap<&str, &str>) {
+    let mut positional = Vec::new();
+    let mut options = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(flag) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                options.insert(flag, args[i + 1].as_str());
+                i += 2;
+            } else {
+                options.insert(flag, "");
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    (positional, options)
+}
+
+fn load_layout(path: &str) -> Result<Layout, String> {
+    layout_io::load(path).map_err(|e| format!("cannot read layout '{path}': {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (_, opts) = split_options(args);
+    let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let count: usize = opts.get("count").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out = opts.get("out").copied().unwrap_or(".");
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create '{out}': {e}"))?;
+    let mut generator = LayoutGenerator::new(GeneratorConfig::default(), seed);
+    for (i, layout) in generator.generate_dataset(count).into_iter().enumerate() {
+        let path = format!("{out}/layout_{seed}_{i}.lay");
+        layout_io::save(&layout, &path).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("wrote {path} ({} patterns)", layout.len());
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (pos, _) = split_options(args);
+    let path = pos.first().ok_or("usage: ldmo info FILE")?;
+    let layout = load_layout(path)?;
+    let ccfg = ClassifyConfig::default();
+    println!("window:   {}", layout.window());
+    println!("patterns: {}", layout.len());
+    for (i, (r, class)) in layout
+        .patterns()
+        .iter()
+        .zip(classify_patterns(&layout, &ccfg))
+        .enumerate()
+    {
+        println!("  {i}: {r} {class:?}");
+    }
+    println!(
+        "DPL-compatible: {}",
+        is_dpl_compatible(&layout, ccfg.nmin)
+    );
+    let candidates = generate_candidates(&layout, &DecompConfig::default());
+    println!("decomposition candidates: {}", candidates.len());
+    Ok(())
+}
+
+fn cmd_decompose(args: &[String]) -> Result<(), String> {
+    let (pos, _) = split_options(args);
+    let path = pos.first().ok_or("usage: ldmo decompose FILE")?;
+    let layout = load_layout(path)?;
+    for (i, c) in generate_candidates(&layout, &DecompConfig::default())
+        .iter()
+        .enumerate()
+    {
+        let joined: Vec<String> = c.iter().map(u8::to_string).collect();
+        println!("#{i}: {}", joined.join(","));
+    }
+    Ok(())
+}
+
+fn parse_assignment(text: &str) -> Result<Vec<u8>, String> {
+    text.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<u8>()
+                .map_err(|_| format!("'{t}' is not a mask index"))
+        })
+        .collect()
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = split_options(args);
+    let path = pos.first().ok_or("usage: ldmo optimize FILE --assignment 0,1,..")?;
+    let layout = load_layout(path)?;
+    let assignment = parse_assignment(
+        opts.get("assignment")
+            .ok_or("missing --assignment (e.g. --assignment 0,1,0)")?,
+    )?;
+    if assignment.len() != layout.len() {
+        return Err(format!(
+            "assignment covers {} patterns, layout has {}",
+            assignment.len(),
+            layout.len()
+        ));
+    }
+    let masks: usize = opts.get("masks").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let cfg = IltConfig::default();
+    let (epe, violations, l2, printed, mask_grids) = if masks == 2 {
+        let out = optimize(&layout, &assignment, &cfg);
+        (
+            out.epe_violations(),
+            out.violations.count(),
+            out.l2,
+            out.printed,
+            out.masks.to_vec(),
+        )
+    } else {
+        let out = optimize_multi(&layout, &assignment, masks, &cfg);
+        (
+            out.epe_violations(),
+            out.violations.count(),
+            out.l2,
+            out.printed,
+            out.masks,
+        )
+    };
+    println!("EPE violations:   {epe}");
+    println!("print violations: {violations}");
+    println!("L2 error:         {l2:.1}");
+    if let Some(prefix) = opts.get("out") {
+        std::fs::write(format!("{prefix}_printed.pgm"), printed.to_pgm())
+            .map_err(|e| format!("cannot write printed image: {e}"))?;
+        for (i, m) in mask_grids.iter().enumerate() {
+            std::fs::write(format!("{prefix}_mask{i}.pgm"), m.to_pgm())
+                .map_err(|e| format!("cannot write mask image: {e}"))?;
+        }
+        println!("images written with prefix {prefix}_");
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &[String]) -> Result<(), String> {
+    let (pos, opts) = split_options(args);
+    let path = pos.first().ok_or("usage: ldmo flow FILE [--predictor W.bin]")?;
+    let layout = load_layout(path)?;
+    let strategy = match opts.get("predictor") {
+        Some(weights) => {
+            let mut predictor = PrintabilityPredictor::lite(7);
+            predictor
+                .load(weights)
+                .map_err(|e| format!("cannot load predictor '{weights}': {e}"))?;
+            SelectionStrategy::Cnn(Box::new(predictor))
+        }
+        None => SelectionStrategy::LithoProxy,
+    };
+    let mut flow = LdmoFlow::new(FlowConfig::default(), strategy);
+    let result = flow.run(&layout);
+    let joined: Vec<String> = result.assignment.iter().map(u8::to_string).collect();
+    println!("selected decomposition: {}", joined.join(","));
+    println!("attempts:               {}", result.attempts);
+    println!("EPE violations:         {}", result.outcome.epe_violations());
+    println!("print violations:       {}", result.outcome.violations.count());
+    println!(
+        "time: {:.2}s selection + {:.2}s optimization",
+        result.timing.decomposition_selection.as_secs_f64(),
+        result.timing.mask_optimization.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let (_, opts) = split_options(args);
+    let pool: usize = opts.get("pool").and_then(|s| s.parse().ok()).unwrap_or(24);
+    let out = opts.get("out").copied().unwrap_or("predictor.bin");
+    let mut generator = LayoutGenerator::new(GeneratorConfig::default(), 2020);
+    let layouts = generator.generate_dataset(pool);
+    println!("labeling (this runs one full ILT per sampled decomposition) …");
+    let dataset = build_dataset(
+        &layouts,
+        &SamplerKind::Engineered,
+        &SamplingConfig::default(),
+        &DatasetConfig::default(),
+    );
+    println!("labeled {} pairs; training …", dataset.len());
+    let mut predictor = PrintabilityPredictor::lite(7);
+    let history = train(&mut predictor, &dataset, &TrainConfig::default());
+    println!(
+        "MAE {:.3} -> {:.3}",
+        history.epoch_mae.first().copied().unwrap_or(f32::NAN),
+        history.final_mae().unwrap_or(f32::NAN)
+    );
+    predictor
+        .save(out)
+        .map_err(|e| format!("cannot save weights to '{out}': {e}"))?;
+    println!("weights saved to {out}");
+    Ok(())
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # ldmo — Deep Learning-Driven Simultaneous Layout Decomposition and Mask Optimization
+//!
+//! Facade crate re-exporting the whole workspace. Start with
+//! [`core`]'s `LdmoFlow` for the end-to-end pipeline, or see the
+//! `examples/` directory:
+//!
+//! - `quickstart.rs` — decompose + optimize one small layout
+//! - `full_flow.rs` — the complete Fig. 2 flow with a trained predictor
+//! - `train_predictor.rs` — build a training set and train the CNN
+//! - `sampling_demo.rs` — SIFT / k-medoids / n-wise sampling machinery
+
+pub use ldmo_core as core;
+pub use ldmo_decomp as decomp;
+pub use ldmo_geom as geom;
+pub use ldmo_ilt as ilt;
+pub use ldmo_layout as layout;
+pub use ldmo_litho as litho;
+pub use ldmo_nn as nn;
+pub use ldmo_vision as vision;

@@ -1,0 +1,117 @@
+//! Integration tests of the `ldmo` command-line binary.
+
+use std::process::Command;
+
+fn ldmo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ldmo"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ldmo_cli_test_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = ldmo().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for sub in ["generate", "info", "decompose", "optimize", "flow", "train"] {
+        assert!(text.contains(sub), "help missing '{sub}'");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let out = ldmo().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn generate_info_decompose_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let out = ldmo()
+        .args([
+            "generate",
+            "--seed",
+            "9",
+            "--count",
+            "1",
+            "--out",
+            dir.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let layout_file = dir.join("layout_9_0.lay");
+    assert!(layout_file.exists());
+
+    let info = ldmo()
+        .args(["info", layout_file.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert!(info.status.success());
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.contains("patterns:"));
+    assert!(text.contains("DPL-compatible:"));
+    assert!(text.contains("decomposition candidates:"));
+
+    let decompose = ldmo()
+        .args(["decompose", layout_file.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert!(decompose.status.success());
+    let text = String::from_utf8_lossy(&decompose.stdout);
+    assert!(text.contains("#0:"), "no candidates listed: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn optimize_rejects_wrong_assignment_length() {
+    let dir = temp_dir("badassign");
+    assert!(ldmo()
+        .args([
+            "generate",
+            "--seed",
+            "4",
+            "--count",
+            "1",
+            "--out",
+            dir.to_str().expect("utf8 path"),
+        ])
+        .status()
+        .expect("runs")
+        .success());
+    let layout_file = dir.join("layout_4_0.lay");
+    let out = ldmo()
+        .args([
+            "optimize",
+            layout_file.to_str().expect("utf8 path"),
+            "--assignment",
+            "0",
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("assignment covers"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn info_rejects_missing_file() {
+    let out = ldmo()
+        .args(["info", "/nonexistent/layout.lay"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read layout"));
+}

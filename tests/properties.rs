@@ -1,0 +1,108 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! randomly generated layout, not just the curated testcases.
+
+use ldmo::decomp::{generate_candidates, DecompConfig};
+use ldmo::geom::{Grid, Rect};
+use ldmo::layout::classify::{classify_patterns, ClassifyConfig, PatternClass};
+use ldmo::layout::drc::{passes_drc, DrcRules};
+use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
+use ldmo::layout::Layout;
+use ldmo::litho::{measure_epe, LithoConfig};
+use proptest::prelude::*;
+
+fn arbitrary_layout(seed: u64) -> Layout {
+    let mut generator = LayoutGenerator::new(GeneratorConfig::default(), seed);
+    generator.generate_dataset(1).remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_layouts_always_pass_drc(seed in 0u64..10_000) {
+        let layout = arbitrary_layout(seed);
+        prop_assert!(passes_drc(&layout, &DrcRules::default()));
+    }
+
+    #[test]
+    fn candidates_cover_all_patterns_and_are_canonical(seed in 0u64..10_000) {
+        let layout = arbitrary_layout(seed);
+        let candidates = generate_candidates(&layout, &DecompConfig::default());
+        prop_assert!(!candidates.is_empty());
+        for c in &candidates {
+            prop_assert_eq!(c.len(), layout.len());
+            prop_assert_eq!(c[0], 0);
+            prop_assert!(c.iter().all(|&m| m < 2));
+        }
+        // deduplicated
+        let set: std::collections::HashSet<_> = candidates.iter().cloned().collect();
+        prop_assert_eq!(set.len(), candidates.len());
+    }
+
+    #[test]
+    fn masks_partition_target_for_any_candidate(seed in 0u64..10_000) {
+        let layout = arbitrary_layout(seed);
+        let candidates = generate_candidates(&layout, &DecompConfig::default());
+        let c = &candidates[0];
+        let target = layout.rasterize_target(2.0);
+        let m0 = layout.rasterize_mask(c, 0, 2.0).expect("valid");
+        let m1 = layout.rasterize_mask(c, 1, 2.0).expect("valid");
+        let union = m0.zip_map(&m1, |a, b| (a + b).min(1.0)).expect("same shape");
+        prop_assert_eq!(union, target);
+    }
+
+    #[test]
+    fn classification_matches_nearest_gap(seed in 0u64..10_000) {
+        let layout = arbitrary_layout(seed);
+        let cfg = ClassifyConfig::default();
+        let gaps = layout.gap_matrix();
+        for (i, class) in classify_patterns(&layout, &cfg).iter().enumerate() {
+            let nearest = gaps[i].iter().copied().fold(f64::INFINITY, f64::min);
+            let expected = if nearest <= cfg.nmin {
+                PatternClass::Separated
+            } else if nearest <= cfg.nmax {
+                PatternClass::Violated
+            } else {
+                PatternClass::Normal
+            };
+            prop_assert_eq!(*class, expected);
+        }
+    }
+
+    #[test]
+    fn perfect_print_has_zero_epe_for_any_layout(seed in 0u64..10_000) {
+        let layout = arbitrary_layout(seed);
+        let cfg = LithoConfig { nm_per_px: 1.0, ..LithoConfig::default() };
+        let (w, h) = layout.grid_shape(1.0);
+        let mut printed = Grid::zeros(w, h);
+        for r in layout.patterns() {
+            let local = Rect::new(
+                r.x0 - layout.window().x0,
+                r.y0 - layout.window().y0,
+                r.x1 - layout.window().x0,
+                r.y1 - layout.window().y0,
+            );
+            printed.fill_rect(&local, 1.0);
+        }
+        let report = measure_epe(&printed, &layout.patterns_px(1.0), &cfg);
+        prop_assert_eq!(report.violations(), 0);
+    }
+
+    #[test]
+    fn decomposition_image_has_at_most_three_levels(seed in 0u64..10_000) {
+        let layout = arbitrary_layout(seed);
+        let candidates = generate_candidates(&layout, &DecompConfig::default());
+        let img = layout
+            .decomposition_image(&candidates[0], 2.0)
+            .expect("valid");
+        let mut levels: Vec<i32> = img
+            .as_slice()
+            .iter()
+            .map(|&v| (v * 100.0).round() as i32)
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        prop_assert!(levels.len() <= 3);
+        prop_assert!(levels.iter().all(|&l| l == 0 || l == 50 || l == 100));
+    }
+}
