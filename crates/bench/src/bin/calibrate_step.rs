@@ -7,9 +7,15 @@ use ldmo_layout::{cells, Layout};
 
 fn quad(gap: i32) -> Layout {
     let p = 64 + gap;
-    Layout::new(Rect::new(0, 0, 448, 448), vec![
-        Rect::square(120, 120, 64), Rect::square(120 + p, 120, 64),
-        Rect::square(120, 120 + p, 64), Rect::square(120 + p, 120 + p, 64)])
+    Layout::new(
+        Rect::new(0, 0, 448, 448),
+        vec![
+            Rect::square(120, 120, 64),
+            Rect::square(120 + p, 120, 64),
+            Rect::square(120, 120 + p, 64),
+            Rect::square(120 + p, 120 + p, 64),
+        ],
+    )
 }
 
 fn main() {
@@ -24,15 +30,22 @@ fn main() {
     cfg.litho.ring_amplitude = ring;
     cfg.mrc_expand_nm = mrc;
     println!("sigma={sigma} ring={ring} mrc={mrc}");
-    let iso = Layout::new(Rect::new(0,0,448,448), vec![Rect::square(192,192,64)]);
-    println!("  isolated: epe={}", optimize(&iso, &[0], &cfg).epe_violations());
+    let iso = Layout::new(Rect::new(0, 0, 448, 448), vec![Rect::square(192, 192, 64)]);
+    println!(
+        "  isolated: epe={}",
+        optimize(&iso, &[0], &cfg).epe_violations()
+    );
     for g in [64, 84, 92, 104, 120] {
         let l = quad(g);
-        let good = optimize(&l, &[0,1,1,0], &cfg);
-        let bad = optimize(&l, &[0,0,1,1], &cfg); // rows same-mask (vertical pairs split)
-        let worst = optimize(&l, &[0,0,0,0], &cfg);
-        println!("  quad g={g}: checker={} rows={} all0={}",
-            good.epe_violations(), bad.epe_violations(), worst.epe_violations());
+        let good = optimize(&l, &[0, 1, 1, 0], &cfg);
+        let bad = optimize(&l, &[0, 0, 1, 1], &cfg); // rows same-mask (vertical pairs split)
+        let worst = optimize(&l, &[0, 0, 0, 0], &cfg);
+        println!(
+            "  quad g={g}: checker={} rows={} all0={}",
+            good.epe_violations(),
+            bad.epe_violations(),
+            worst.epe_violations()
+        );
     }
     // 2x3 grid: SP rows at 66, rows stacked at VP distance 86.
     // aligned = vertical same-mask pairs at 86; anti = diagonal 108
@@ -64,7 +77,7 @@ fn main() {
             }
         }
         let l = Layout::new(Rect::new(0, 0, 448, 448), pats);
-        let same = optimize(&l, &vec![0u8; 9], &cfg);
+        let same = optimize(&l, &[0u8; 9], &cfg);
         let checker: Vec<u8> = (0..9).map(|i| ((i / 3 + i % 3) % 2) as u8).collect();
         let chk = optimize(&l, &checker, &cfg);
         println!(
@@ -78,7 +91,10 @@ fn main() {
     for name in ["AOI211_X1", "NAND2_X1", "OAI21_X1"] {
         let l = cells::cell(name).unwrap();
         let cands = generate_candidates(&l, &DecompConfig::default());
-        let epes: Vec<usize> = cands.iter().map(|c| optimize(&l, c, &cfg).epe_violations()).collect();
+        let epes: Vec<usize> = cands
+            .iter()
+            .map(|c| optimize(&l, c, &cfg).epe_violations())
+            .collect();
         println!("  {name}: candidate EPEs {epes:?}");
     }
 }

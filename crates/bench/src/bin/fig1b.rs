@@ -55,22 +55,22 @@ fn main() {
     }
 
     // the paper's point: report whether the final winner ever trailed
-    let finals: Vec<usize> = series.iter().map(|(_, s)| *s.last().unwrap_or(&0)).collect();
+    let finals: Vec<usize> = series
+        .iter()
+        .map(|(_, s)| *s.last().unwrap_or(&0))
+        .collect();
     let winner = finals
         .iter()
         .enumerate()
         .min_by_key(|&(_, v)| *v)
         .map(|(i, _)| i)
         .unwrap_or(0);
-    let trailed = series
-        .iter()
-        .enumerate()
-        .any(|(i, (_, s))| {
-            i != winner
-                && s.iter()
-                    .zip(&series[winner].1)
-                    .any(|(other, win)| win > other)
-        });
+    let trailed = series.iter().enumerate().any(|(i, (_, s))| {
+        i != winner
+            && s.iter()
+                .zip(&series[winner].1)
+                .any(|(other, win)| win > other)
+    });
     println!(
         "\nfinal EPE counts: {finals:?}; winner: {}; winner trailed mid-run: {trailed}",
         series[winner].0

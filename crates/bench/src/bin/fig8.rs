@@ -55,8 +55,7 @@ fn main() {
                 max_attempts: attempts,
                 ..FlowConfig::default()
             };
-            let mut flow =
-                LdmoFlow::new(flow_cfg, SelectionStrategy::Cnn(Box::new(predictor)));
+            let mut flow = LdmoFlow::new(flow_cfg, SelectionStrategy::Cnn(Box::new(predictor)));
             let mut epe = 0usize;
             let mut time = Duration::ZERO;
             for (name, layout) in &suite {

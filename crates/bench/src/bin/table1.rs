@@ -72,8 +72,7 @@ fn main() {
     println!("\nTABLE I — Comparison with previous frameworks");
     println!(
         "{:>10} | {:>5} {:>8} | {:>5} {:>8} | {:>5} {:>8} | {:>5} {:>8}",
-        "ID",
-        "EPE#", "Time(s)", "EPE#", "Time(s)", "EPE#", "Time(s)", "EPE#", "Time(s)"
+        "ID", "EPE#", "Time(s)", "EPE#", "Time(s)", "EPE#", "Time(s)", "EPE#", "Time(s)"
     );
     println!(
         "{:>10} | {:^14} | {:^14} | {:^14} | {:^14}",
@@ -85,10 +84,14 @@ fn main() {
         println!(
             "{:>10} | {:>5} {:>8.1} | {:>5} {:>8.1} | {:>5} {:>8.1} | {:>5} {:>8.1}",
             row.name,
-            row.epe[0], row.time[0].as_secs_f64(),
-            row.epe[1], row.time[1].as_secs_f64(),
-            row.epe[2], row.time[2].as_secs_f64(),
-            row.epe[3], row.time[3].as_secs_f64(),
+            row.epe[0],
+            row.time[0].as_secs_f64(),
+            row.epe[1],
+            row.time[1].as_secs_f64(),
+            row.epe[2],
+            row.time[2].as_secs_f64(),
+            row.epe[3],
+            row.time[3].as_secs_f64(),
         );
         for i in 0..4 {
             epe_sum[i] += row.epe[i];
@@ -101,18 +104,26 @@ fn main() {
     println!(
         "{:>10} | {:>5.2} {:>8.2} | {:>5.2} {:>8.2} | {:>5.2} {:>8.2} | {:>5.2} {:>8.2}",
         "Ave.",
-        avg_epe[0], avg_time[0],
-        avg_epe[1], avg_time[1],
-        avg_epe[2], avg_time[2],
-        avg_epe[3], avg_time[3],
+        avg_epe[0],
+        avg_time[0],
+        avg_epe[1],
+        avg_time[1],
+        avg_epe[2],
+        avg_time[2],
+        avg_epe[3],
+        avg_time[3],
     );
     let ratio = |v: f64, ours: f64| if ours > 0.0 { v / ours } else { f64::INFINITY };
     println!(
         "{:>10} | {:>5.2} {:>8.2} | {:>5.2} {:>8.2} | {:>5.2} {:>8.2} | {:>5.2} {:>8.2}",
         "Ratio",
-        ratio(avg_epe[0], avg_epe[3]), ratio(avg_time[0], avg_time[3]),
-        ratio(avg_epe[1], avg_epe[3]), ratio(avg_time[1], avg_time[3]),
-        ratio(avg_epe[2], avg_epe[3]), ratio(avg_time[2], avg_time[3]),
-        1.0, 1.0,
+        ratio(avg_epe[0], avg_epe[3]),
+        ratio(avg_time[0], avg_time[3]),
+        ratio(avg_epe[1], avg_epe[3]),
+        ratio(avg_time[1], avg_time[3]),
+        ratio(avg_epe[2], avg_epe[3]),
+        ratio(avg_time[2], avg_time[3]),
+        1.0,
+        1.0,
     );
 }

@@ -13,10 +13,10 @@ use ldmo_core::dataset::{build_dataset, DatasetConfig, SamplerKind};
 use ldmo_core::predictor::PrintabilityPredictor;
 use ldmo_core::sampling::SamplingConfig;
 use ldmo_core::trainer::{train, TrainConfig};
-use ldmo_layout::cells;
-use ldmo_layout::generate::{GeneratorConfig, LayoutGenerator};
 use ldmo_decomp::is_dpl_compatible;
+use ldmo_layout::cells;
 use ldmo_layout::classify::ClassifyConfig;
+use ldmo_layout::generate::{GeneratorConfig, LayoutGenerator};
 use ldmo_layout::Layout;
 use std::path::PathBuf;
 

@@ -13,7 +13,7 @@
 
 use crate::score::{printability_score, ScoreWeights};
 use ldmo_decomp::{generate_candidates, DecompConfig};
-use ldmo_ilt::{optimize, IltConfig, IltOutcome, IltSession};
+use ldmo_ilt::{IltConfig, IltContext, IltOutcome, IltSession};
 use ldmo_layout::classify::ClassifyConfig;
 use ldmo_layout::{Layout, MaskAssignment};
 use std::time::{Duration, Instant};
@@ -82,10 +82,12 @@ pub fn unified_flow(layout: &Layout, cfg: &UnifiedConfig) -> BaselineResult {
     let ds_start = Instant::now();
     let mut candidates = generate_candidates(layout, &cfg.decomp);
     candidates.truncate(cfg.max_initial.max(1));
+    // one kernel-bank expansion shared by every candidate session
+    let ctx = IltContext::new(&cfg.ilt);
     let mut active: Vec<(MaskAssignment, IltSession)> = candidates
         .into_iter()
         .map(|c| {
-            let session = IltSession::new(layout, &c, &cfg.ilt);
+            let session = ctx.session(layout, &c);
             (c, session)
         })
         .collect();
@@ -159,7 +161,7 @@ pub fn two_stage_suald(layout: &Layout, ilt_cfg: &IltConfig) -> BaselineResult {
     let assignment = suald_decompose(layout);
     let ds_time = ds_start.elapsed();
     let mo_start = Instant::now();
-    let outcome = optimize(layout, &assignment, ilt_cfg);
+    let outcome = IltContext::new(ilt_cfg).optimize(layout, &assignment);
     BaselineResult {
         name: "SUALD [16] + MOSAIC [6]",
         assignment,
@@ -209,7 +211,7 @@ pub fn two_stage_bfs(layout: &Layout, ilt_cfg: &IltConfig) -> BaselineResult {
     let assignment = bfs_decompose(layout, &ClassifyConfig::default());
     let ds_time = ds_start.elapsed();
     let mo_start = Instant::now();
-    let outcome = optimize(layout, &assignment, ilt_cfg);
+    let outcome = IltContext::new(ilt_cfg).optimize(layout, &assignment);
     BaselineResult {
         name: "LD-QP [17] + MOSAIC [6]",
         assignment,
@@ -385,6 +387,6 @@ mod tests {
         };
         let result = unified_flow(&layout, &cfg);
         let a = &result.assignment;
-        assert!(a.iter().any(|&m| m == 0) && a.iter().any(|&m| m == 1));
+        assert!(a.contains(&0) && a.contains(&1));
     }
 }

@@ -10,7 +10,7 @@ use crate::sampling::{
 };
 use crate::score::{printability_score, Normalizer, ScoreWeights};
 use ldmo_geom::Grid;
-use ldmo_ilt::{optimize, IltConfig};
+use ldmo_ilt::{IltConfig, IltContext};
 use ldmo_layout::{Layout, MaskAssignment};
 use ldmo_nn::Tensor;
 
@@ -26,21 +26,12 @@ pub enum SamplerKind {
 }
 
 /// Dataset-construction parameters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DatasetConfig {
     /// ILT engine used for labeling (full 29-iteration runs, `Run` policy).
     pub ilt: IltConfig,
     /// Eq. 9 weights.
     pub weights: ScoreWeights,
-}
-
-impl Default for DatasetConfig {
-    fn default() -> Self {
-        DatasetConfig {
-            ilt: IltConfig::default(),
-            weights: ScoreWeights::default(),
-        }
-    }
 }
 
 /// A labeled training set of decomposition images.
@@ -148,6 +139,8 @@ pub fn build_dataset(
     let mut images = Vec::new();
     let mut raw_scores = Vec::new();
     let mut provenance = Vec::new();
+    // one kernel-bank expansion serves every labeling run
+    let ctx = IltContext::new(&dcfg.ilt);
     for &li in &selected {
         let layout = &layouts[li];
         let decomps = match kind {
@@ -158,7 +151,7 @@ pub fn build_dataset(
             }
         };
         for d in decomps {
-            let outcome = optimize(layout, &d, &dcfg.ilt);
+            let outcome = ctx.optimize(layout, &d);
             let score = printability_score(&outcome, &dcfg.weights);
             let img = layout
                 .decomposition_image(&d, dcfg.ilt.litho.nm_per_px)
@@ -229,7 +222,12 @@ mod tests {
     #[test]
     fn engineered_dataset_builds_and_normalizes() {
         let layouts = tiny_layouts();
-        let ds = build_dataset(&layouts, &SamplerKind::Engineered, &fast_scfg(), &fast_dcfg());
+        let ds = build_dataset(
+            &layouts,
+            &SamplerKind::Engineered,
+            &fast_scfg(),
+            &fast_dcfg(),
+        );
         assert!(!ds.is_empty());
         assert_eq!(ds.images.len(), ds.labels.len());
         assert_eq!(ds.images.len(), ds.provenance.len());
@@ -241,7 +239,12 @@ mod tests {
     #[test]
     fn random_dataset_differs_from_engineered() {
         let layouts = tiny_layouts();
-        let a = build_dataset(&layouts, &SamplerKind::Engineered, &fast_scfg(), &fast_dcfg());
+        let a = build_dataset(
+            &layouts,
+            &SamplerKind::Engineered,
+            &fast_scfg(),
+            &fast_dcfg(),
+        );
         let b = build_dataset(&layouts, &SamplerKind::Random, &fast_scfg(), &fast_dcfg());
         assert!(!b.is_empty());
         // strategies need not match sample-for-sample
@@ -251,7 +254,12 @@ mod tests {
     #[test]
     fn augmentation_quadruples_and_preserves_labels() {
         let layouts = tiny_layouts();
-        let ds = build_dataset(&layouts, &SamplerKind::Engineered, &fast_scfg(), &fast_dcfg());
+        let ds = build_dataset(
+            &layouts,
+            &SamplerKind::Engineered,
+            &fast_scfg(),
+            &fast_dcfg(),
+        );
         let aug = ds.augmented();
         assert_eq!(aug.len(), ds.len() * 4);
         // each group of four shares the original's label
@@ -268,7 +276,12 @@ mod tests {
     #[test]
     fn batch_shapes() {
         let layouts = tiny_layouts();
-        let ds = build_dataset(&layouts, &SamplerKind::Engineered, &fast_scfg(), &fast_dcfg());
+        let ds = build_dataset(
+            &layouts,
+            &SamplerKind::Engineered,
+            &fast_scfg(),
+            &fast_dcfg(),
+        );
         let idx: Vec<usize> = (0..ds.len().min(2)).collect();
         let (x, y) = ds.batch(&idx, 56);
         assert_eq!(x.shape(), &[idx.len(), 1, 56, 56]);

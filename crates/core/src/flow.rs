@@ -8,7 +8,7 @@
 use crate::predictor::PrintabilityPredictor;
 use crate::score::{printability_score, ScoreWeights};
 use ldmo_decomp::{generate_candidates, DecompConfig};
-use ldmo_ilt::{evaluate_unoptimized, optimize, IltConfig, IltOutcome, ViolationPolicy};
+use ldmo_ilt::{IltConfig, IltContext, IltOutcome, ViolationPolicy};
 use ldmo_layout::{Layout, MaskAssignment};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -139,19 +139,22 @@ impl LdmoFlow {
     /// non-empty layouts).
     pub fn run(&mut self, layout: &Layout) -> FlowResult {
         let ds_start = Instant::now();
+        // one kernel-bank expansion serves the proxy ranking, every abort
+        // attempt and the final optimization
+        let ctx = IltContext::new(&self.cfg.ilt);
         let candidates = generate_candidates(layout, &self.cfg.decomp);
         assert!(!candidates.is_empty(), "no decomposition candidates");
-        let order = self.rank_candidates(layout, &candidates);
+        let order = self.rank_candidates(layout, &candidates, &ctx);
         let mut ds_time = ds_start.elapsed();
 
         if let SelectionStrategy::Cnn(p) = &mut self.strategy {
             p.clear_rejections();
         }
 
-        let abort_cfg = IltConfig {
+        let abort_ctx = ctx.with_config(&IltConfig {
             policy: ViolationPolicy::AbortOnViolation,
             ..self.cfg.ilt.clone()
-        };
+        });
         let mut rejected: HashSet<MaskAssignment> = HashSet::new();
         let mut attempts = 0usize;
         for &ci in order.iter().take(self.cfg.max_attempts.max(1)) {
@@ -161,7 +164,7 @@ impl LdmoFlow {
             }
             attempts += 1;
             let mo_start = Instant::now();
-            let outcome = optimize(layout, cand, &abort_cfg);
+            let outcome = abort_ctx.optimize(layout, cand);
             let elapsed = mo_start.elapsed();
             if outcome.aborted_at.is_none() {
                 return FlowResult {
@@ -185,7 +188,7 @@ impl LdmoFlow {
         // every attempt aborted: complete the best-ranked candidate fully
         let fallback = &candidates[order[0]];
         let mo_start = Instant::now();
-        let outcome = optimize(layout, fallback, &self.cfg.ilt);
+        let outcome = ctx.optimize(layout, fallback);
         FlowResult {
             assignment: fallback.clone(),
             outcome,
@@ -199,17 +202,21 @@ impl LdmoFlow {
     }
 
     /// Candidate indices in selection order (best first).
-    fn rank_candidates(&mut self, layout: &Layout, candidates: &[MaskAssignment]) -> Vec<usize> {
+    fn rank_candidates(
+        &mut self,
+        layout: &Layout,
+        candidates: &[MaskAssignment],
+        ctx: &IltContext,
+    ) -> Vec<usize> {
         match &mut self.strategy {
             SelectionStrategy::Cnn(p) => p.rank(layout, candidates),
             SelectionStrategy::LithoProxy => {
                 let weights = self.cfg.weights;
-                let ilt = &self.cfg.ilt;
                 let mut scored: Vec<(usize, f64)> = candidates
                     .iter()
                     .enumerate()
                     .map(|(i, c)| {
-                        let out = evaluate_unoptimized(layout, c, ilt);
+                        let out = ctx.evaluate_unoptimized(layout, c);
                         (i, printability_score(&out, &weights))
                     })
                     .collect();
@@ -274,7 +281,7 @@ mod tests {
         // at least one close pair must be split in the selected candidate
         let a = &result.assignment;
         assert!(
-            a.iter().any(|&m| m == 0) && a.iter().any(|&m| m == 1),
+            a.contains(&0) && a.contains(&1),
             "selected an all-one-mask decomposition: {a:?}"
         );
     }

@@ -81,7 +81,11 @@ impl PrintabilityPredictor {
 
     /// Selects the best candidate that has not been rejected before.
     /// Returns `None` when every candidate is rejected.
-    pub fn select<'a>(&mut self, layout: &Layout, candidates: &'a [Vec<u8>]) -> Option<&'a Vec<u8>> {
+    pub fn select<'a>(
+        &mut self,
+        layout: &Layout,
+        candidates: &'a [Vec<u8>],
+    ) -> Option<&'a Vec<u8>> {
         self.rank(layout, candidates)
             .into_iter()
             .map(|i| &candidates[i])

@@ -96,9 +96,8 @@ mod tests {
         let out = evaluate_unoptimized(&layout, &[0, 1], &IltConfig::default());
         let w = ScoreWeights::default();
         let s = printability_score(&out, &w);
-        let expected = out.l2
-            + 3500.0 * out.epe_violations() as f64
-            + 8000.0 * out.violations.count() as f64;
+        let expected =
+            out.l2 + 3500.0 * out.epe_violations() as f64 + 8000.0 * out.violations.count() as f64;
         assert!((s - expected).abs() < 1e-9);
         assert!(s > 0.0);
     }

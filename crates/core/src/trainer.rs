@@ -167,10 +167,7 @@ mod tests {
         assert_eq!(history.epoch_mae.len(), 12);
         let first = history.epoch_mae[0];
         let last = history.final_mae().expect("trained");
-        assert!(
-            last < first * 0.8,
-            "MAE did not improve: {first} -> {last}"
-        );
+        assert!(last < first * 0.8, "MAE did not improve: {first} -> {last}");
     }
 
     #[test]

@@ -12,7 +12,12 @@ fn main() {
         let drc = check_drc(&l, &DrcRules::default());
         println!(
             "{name:>12}: n={} sp={} vp={} np={} candidates={} drc_violations={}",
-            l.len(), sets.sp.len(), sets.vp.len(), sets.np.len(), cands.len(), drc.len()
+            l.len(),
+            sets.sp.len(),
+            sets.vp.len(),
+            sets.np.len(),
+            cands.len(),
+            drc.len()
         );
     }
 }

@@ -54,7 +54,7 @@ pub fn covering_array(k: usize, t: usize) -> Vec<Vec<u8>> {
         for c in 0..8 {
             let cand = build_candidate(k, t, &columns, &uncovered, rotate + c);
             let gain = coverage_gain(&cand, t, &columns, &uncovered);
-            if best.as_ref().map_or(true, |(g, _)| gain > *g) {
+            if best.as_ref().is_none_or(|(g, _)| gain > *g) {
                 best = Some((gain, cand));
             }
         }
@@ -144,7 +144,9 @@ fn build_candidate(
 ) -> Vec<u8> {
     // seed: the `variant`-th column set that still has uncovered tuples
     let mut row: Vec<Option<u8>> = vec![None; k];
-    let open: Vec<usize> = (0..columns.len()).filter(|&ci| uncovered[ci] != 0).collect();
+    let open: Vec<usize> = (0..columns.len())
+        .filter(|&ci| uncovered[ci] != 0)
+        .collect();
     if !open.is_empty() {
         let ci = open[variant % open.len()];
         let v = uncovered[ci].trailing_zeros();

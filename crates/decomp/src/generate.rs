@@ -117,7 +117,10 @@ mod tests {
     fn layout(corners: &[(i32, i32)]) -> Layout {
         Layout::new(
             Rect::new(0, 0, 1000, 1000),
-            corners.iter().map(|&(x, y)| Rect::square(x, y, 64)).collect(),
+            corners
+                .iter()
+                .map(|&(x, y)| Rect::square(x, y, 64))
+                .collect(),
         )
     }
 
@@ -193,17 +196,19 @@ mod tests {
         // pattern on both masks
         let l = layout(&[(0, 0), (130, 0), (0, 150)]);
         let cands = generate_candidates(&l, &DecompConfig::default());
-        let vp_values: std::collections::HashSet<u8> =
-            cands.iter().map(|c| c[2]).collect();
-        assert_eq!(vp_values.len(), 2, "VP pattern stuck on one mask: {cands:?}");
+        let vp_values: std::collections::HashSet<u8> = cands.iter().map(|c| c[2]).collect();
+        assert_eq!(
+            vp_values.len(),
+            2,
+            "VP pattern stuck on one mask: {cands:?}"
+        );
     }
 
     #[test]
     fn np_patterns_take_both_masks_across_candidates() {
         let l = layout(&[(0, 0), (130, 0), (600, 600)]);
         let cands = generate_candidates(&l, &DecompConfig::default());
-        let np_values: std::collections::HashSet<u8> =
-            cands.iter().map(|c| c[2]).collect();
+        let np_values: std::collections::HashSet<u8> = cands.iter().map(|c| c[2]).collect();
         assert_eq!(np_values.len(), 2);
     }
 

@@ -127,7 +127,10 @@ mod tests {
     fn layout(corners: &[(i32, i32)]) -> Layout {
         Layout::new(
             Rect::new(0, 0, 1000, 1000),
-            corners.iter().map(|&(x, y)| Rect::square(x, y, 64)).collect(),
+            corners
+                .iter()
+                .map(|&(x, y)| Rect::square(x, y, 64))
+                .collect(),
         )
     }
 
@@ -182,13 +185,7 @@ mod tests {
     #[test]
     fn fig3_two_components() {
         // two clusters far apart, like the paper's Fig. 3
-        let l = layout(&[
-            (0, 0),
-            (130, 0),
-            (65, 130),
-            (700, 700),
-            (830, 700),
-        ]);
+        let l = layout(&[(0, 0), (130, 0), (65, 130), (700, 700), (830, 700)]);
         let g = ConflictGraph::build(&l, &[0, 1, 2, 3, 4], 80.0);
         // cluster 1: edges 0-1 (66), 0-2 and 1-2 (diagonal ~ less than 80?)
         // at least the two horizontal edges exist

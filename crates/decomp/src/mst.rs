@@ -65,11 +65,10 @@ pub fn minimum_spanning_forest(graph: &ConflictGraph) -> MstForest {
     // dense component ids in order of first appearance
     let mut component = vec![0usize; n];
     let mut ids: HashMap<usize, usize> = HashMap::new();
-    for i in 0..n {
+    for (i, comp) in component.iter_mut().enumerate() {
         let root = dsu.find(i);
         let next = ids.len();
-        let id = *ids.entry(root).or_insert(next);
-        component[i] = id;
+        *comp = *ids.entry(root).or_insert(next);
     }
     MstForest {
         vertices: graph.vertices.clone(),
@@ -103,8 +102,8 @@ pub fn two_color_forest(forest: &MstForest) -> (HashMap<usize, u8>, HashMap<usiz
         while let Some(u) = queue.pop_front() {
             let cu = colors[&u];
             for &v in adj.get(&u).into_iter().flatten() {
-                if !colors.contains_key(&v) {
-                    colors.insert(v, 1 - cu);
+                if let std::collections::hash_map::Entry::Vacant(e) = colors.entry(v) {
+                    e.insert(1 - cu);
                     component.insert(v, cid);
                     queue.push_back(v);
                 }
@@ -129,7 +128,10 @@ mod tests {
     fn layout(corners: &[(i32, i32)]) -> Layout {
         Layout::new(
             Rect::new(0, 0, 1200, 1200),
-            corners.iter().map(|&(x, y)| Rect::square(x, y, 64)).collect(),
+            corners
+                .iter()
+                .map(|&(x, y)| Rect::square(x, y, 64))
+                .collect(),
         )
     }
 

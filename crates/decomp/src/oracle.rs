@@ -50,7 +50,7 @@ where
     let mut best: Option<(MaskAssignment, f64)> = None;
     for a in enumerate_assignments(layout.len()) {
         let v = objective(layout, &a);
-        if best.as_ref().map_or(true, |(_, bv)| v < *bv) {
+        if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
             best = Some((a, v));
         }
     }

@@ -99,7 +99,10 @@ impl Grid {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "grid index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -120,7 +123,10 @@ impl Grid {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
-        assert!(x < self.width && y < self.height, "grid index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
         self.data[y * self.width + x] = value;
     }
 
@@ -163,6 +169,49 @@ impl Grid {
     pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
         for v in &mut self.data {
             *v = f(*v);
+        }
+    }
+
+    /// Sets every element to `value` without reallocating. The scratch-buffer
+    /// counterpart of [`Grid::filled`].
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Overwrites this grid with the contents of `src` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn copy_from(&mut self, src: &Grid) {
+        assert_eq!(self.shape(), src.shape(), "grids must share a shape");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Overwrites this grid with `f` applied element-wise to `src` — the
+    /// buffer-reuse counterpart of [`Grid::map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn map_from<F: FnMut(f32) -> f32>(&mut self, src: &Grid, mut f: F) {
+        assert_eq!(self.shape(), src.shape(), "grids must share a shape");
+        for (d, &s) in self.data.iter_mut().zip(&src.data) {
+            *d = f(s);
+        }
+    }
+
+    /// Overwrites this grid with `f(a, b)` element-wise from two equally
+    /// shaped sources — the buffer-reuse counterpart of [`Grid::zip_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shape differs.
+    pub fn zip_from<F: FnMut(f32, f32) -> f32>(&mut self, a: &Grid, b: &Grid, mut f: F) {
+        assert_eq!(self.shape(), a.shape(), "grids must share a shape");
+        assert_eq!(self.shape(), b.shape(), "grids must share a shape");
+        for ((d, &x), &y) in self.data.iter_mut().zip(&a.data).zip(&b.data) {
+            *d = f(x, y);
         }
     }
 
@@ -478,6 +527,28 @@ mod tests {
     }
 
     #[test]
+    fn buffer_reuse_helpers_match_allocating_counterparts() {
+        let src = Grid::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.0]);
+        let other = Grid::from_vec(2, 2, vec![1.0, 1.0, -0.5, 3.0]);
+        let mut buf = Grid::filled(2, 2, 9.0);
+        buf.fill(0.25);
+        assert_eq!(buf, Grid::filled(2, 2, 0.25));
+        buf.copy_from(&src);
+        assert_eq!(buf, src);
+        buf.map_from(&src, |v| v * 2.0);
+        assert_eq!(buf, src.map(|v| v * 2.0));
+        buf.zip_from(&src, &other, |a, b| a + b);
+        assert_eq!(buf, src.zip_map(&other, |a, b| a + b).expect("same shape"));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn copy_from_rejects_shape_mismatch() {
+        let mut a = Grid::zeros(2, 2);
+        a.copy_from(&Grid::zeros(3, 2));
+    }
+
+    #[test]
     fn min_max_mean() {
         let g = Grid::from_vec(3, 1, vec![-1.0, 0.0, 4.0]);
         assert_eq!(g.min(), -1.0);
@@ -504,8 +575,8 @@ mod tests {
             let mut g = Grid::zeros(8, 8);
             let r = Rect::new(x0, y0, x0 + w, y0 + h);
             g.fill_rect(&r, 1.0);
-            let clipped_w = (r.x1.min(8).max(0) - r.x0.min(8).max(0)).max(0);
-            let clipped_h = (r.y1.min(8).max(0) - r.y0.min(8).max(0)).max(0);
+            let clipped_w = (r.x1.clamp(0, 8) - r.x0.clamp(0, 8)).max(0);
+            let clipped_h = (r.y1.clamp(0, 8) - r.y0.clamp(0, 8)).max(0);
             prop_assert_eq!(g.sum() as i64, i64::from(clipped_w) * i64::from(clipped_h));
         }
     }

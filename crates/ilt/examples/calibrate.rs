@@ -32,19 +32,39 @@ fn main() {
     // isolated contact
     let iso = Layout::new(win, vec![Rect::square(192, 192, size)]);
     let out = optimize(&iso, &[0], &cfg);
-    println!("      isolated | epe={} viol={}", out.epe_violations(), out.violations.count());
+    println!(
+        "      isolated | epe={} viol={}",
+        out.epe_violations(),
+        out.violations.count()
+    );
 
     for gap in [56, 68, 80, 92] {
         let pitch = size + gap;
         // pair
-        let pair = Layout::new(win, vec![
-            Rect::square(120, 192, size), Rect::square(120 + pitch, 192, size)]);
+        let pair = Layout::new(
+            win,
+            vec![
+                Rect::square(120, 192, size),
+                Rect::square(120 + pitch, 192, size),
+            ],
+        );
         run(&format!("pair g={gap}"), &pair, &[0, 0], &[0, 1], &cfg);
         // row of 3
-        let row3 = Layout::new(win, vec![
-            Rect::square(60, 192, size), Rect::square(60 + pitch, 192, size),
-            Rect::square(60 + 2 * pitch, 192, size)]);
-        run(&format!("row3 g={gap}"), &row3, &[0, 0, 0], &[0, 1, 0], &cfg);
+        let row3 = Layout::new(
+            win,
+            vec![
+                Rect::square(60, 192, size),
+                Rect::square(60 + pitch, 192, size),
+                Rect::square(60 + 2 * pitch, 192, size),
+            ],
+        );
+        run(
+            &format!("row3 g={gap}"),
+            &row3,
+            &[0, 0, 0],
+            &[0, 1, 0],
+            &cfg,
+        );
     }
     // 3x3 grid at gap 68 (DFF-like)
     let g = 68;
@@ -63,10 +83,22 @@ fn main() {
     // 2x2 grid, bad vs good
     for g in [56, 64, 72] {
         let pitch = size + g;
-        let quad = Layout::new(win, vec![
-            Rect::square(120, 120, size), Rect::square(120 + pitch, 120, size),
-            Rect::square(120, 120 + pitch, size), Rect::square(120 + pitch, 120 + pitch, size)]);
-        run(&format!("quad g={g}"), &quad, &[0, 0, 0, 0], &[0, 1, 1, 0], &cfg);
+        let quad = Layout::new(
+            win,
+            vec![
+                Rect::square(120, 120, size),
+                Rect::square(120 + pitch, 120, size),
+                Rect::square(120, 120 + pitch, size),
+                Rect::square(120 + pitch, 120 + pitch, size),
+            ],
+        );
+        run(
+            &format!("quad g={g}"),
+            &quad,
+            &[0, 0, 0, 0],
+            &[0, 1, 1, 0],
+            &cfg,
+        );
     }
 
     // does AbortOnBridge ever fire on dense same-mask clusters?
@@ -74,14 +106,28 @@ fn main() {
     acfg.policy = ldmo_ilt::ViolationPolicy::AbortOnViolation;
     for g in [50, 56, 68] {
         let pitch = size + g;
-        let quad = Layout::new(win, vec![
-            Rect::square(120, 120, size), Rect::square(120 + pitch, 120, size),
-            Rect::square(120, 120 + pitch, size), Rect::square(120 + pitch, 120 + pitch, size)]);
+        let quad = Layout::new(
+            win,
+            vec![
+                Rect::square(120, 120, size),
+                Rect::square(120 + pitch, 120, size),
+                Rect::square(120, 120 + pitch, size),
+                Rect::square(120 + pitch, 120 + pitch, size),
+            ],
+        );
         let out = optimize(&quad, &[0, 0, 0, 0], &acfg);
-        println!("abort quad g={g}: aborted_at={:?} viol={} epe={}",
-            out.aborted_at, out.violations.count(), out.epe_violations());
+        println!(
+            "abort quad g={g}: aborted_at={:?} viol={} epe={}",
+            out.aborted_at,
+            out.violations.count(),
+            out.epe_violations()
+        );
     }
     let out9 = optimize(&grid9, &all0, &acfg);
-    println!("abort grid9 g=68: aborted_at={:?} viol={} epe={}",
-        out9.aborted_at, out9.violations.count(), out9.epe_violations());
+    println!(
+        "abort grid9 g=68: aborted_at={:?} viol={} epe={}",
+        out9.aborted_at,
+        out9.violations.count(),
+        out9.epe_violations()
+    );
 }

@@ -6,12 +6,12 @@
 //! (greedy pruning of partially optimized candidates) are built on.
 //! [`optimize`] is the one-shot convenience wrapper.
 
-use crate::gradient::{forward_pair, l2_gradient_pair};
+use crate::gradient::{forward_multi_into, l2_gradient_multi_into, PairForward};
 use ldmo_geom::Grid;
 use ldmo_layout::Layout;
 use ldmo_litho::{
     combine_double_pattern, detect_violations, measure_epe, simulate_print, EpeReport, KernelBank,
-    LithoConfig, ViolationReport,
+    LithoConfig, LithoWorkspace, ViolationReport,
 };
 
 /// How the engine reacts to print violations detected mid-optimization.
@@ -124,7 +124,83 @@ impl IltOutcome {
     }
 }
 
+/// Shared, immutable per-configuration state of the ILT engine: the config
+/// plus the kernel bank expanded once for its optical model.
+///
+/// Building a [`KernelBank`] samples every separable kernel profile;
+/// constructing it once per [`IltConfig`] and spawning sessions from the
+/// context keeps that cost out of per-candidate loops (the ranking and
+/// baseline flows evaluate dozens of decompositions under one config).
+#[derive(Debug, Clone)]
+pub struct IltContext {
+    cfg: IltConfig,
+    bank: KernelBank,
+}
+
+impl IltContext {
+    /// Expands the kernel bank for `cfg` once.
+    pub fn new(cfg: &IltConfig) -> Self {
+        IltContext {
+            cfg: cfg.clone(),
+            bank: KernelBank::paper_bank(&cfg.litho),
+        }
+    }
+
+    /// The configuration this context was built for.
+    pub fn cfg(&self) -> &IltConfig {
+        &self.cfg
+    }
+
+    /// The pre-expanded kernel bank.
+    pub fn bank(&self) -> &KernelBank {
+        &self.bank
+    }
+
+    /// Derives a context for a config variant (e.g. a different violation
+    /// policy), sharing this context's kernel bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.litho` differs — the bank is not re-expanded here.
+    pub fn with_config(&self, cfg: &IltConfig) -> IltContext {
+        assert_eq!(
+            cfg.litho, self.cfg.litho,
+            "with_config cannot change the optical model"
+        );
+        IltContext {
+            cfg: cfg.clone(),
+            bank: self.bank.clone(),
+        }
+    }
+
+    /// Prepares a resumable session for `layout` under `assignment`,
+    /// reusing this context's kernel bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != layout.len()` or contains mask
+    /// indices other than 0/1.
+    pub fn session(&self, layout: &Layout, assignment: &[u8]) -> IltSession {
+        IltSession::from_parts(layout, assignment, &self.cfg, self.bank.clone())
+    }
+
+    /// Runs the full optimization loop (see [`optimize`]).
+    pub fn optimize(&self, layout: &Layout, assignment: &[u8]) -> IltOutcome {
+        run_session(self.session(layout, assignment))
+    }
+
+    /// Forward-only evaluation of a decomposition (see
+    /// [`evaluate_unoptimized`]).
+    pub fn evaluate_unoptimized(&self, layout: &Layout, assignment: &[u8]) -> IltOutcome {
+        self.session(layout, assignment).into_outcome()
+    }
+}
+
 /// A resumable ILT optimization of one (layout, decomposition) pair.
+///
+/// All per-iteration buffers (forward artifacts, gradients, convolution
+/// scratch) are allocated here at construction; [`IltSession::step_one`]
+/// performs no heap allocation.
 pub struct IltSession {
     patterns: Vec<ldmo_geom::Rect>,
     cfg: IltConfig,
@@ -132,6 +208,9 @@ pub struct IltSession {
     target: Grid,
     corridors: [Grid; 2],
     p: [Grid; 2],
+    ws: LithoWorkspace,
+    fwd: PairForward,
+    grads: [Grid; 2],
     iterations_done: usize,
     last_l2: f64,
 }
@@ -139,11 +218,19 @@ pub struct IltSession {
 impl IltSession {
     /// Prepares a session for `layout` under `assignment`.
     ///
+    /// Expands a fresh kernel bank; prefer [`IltContext::session`] when
+    /// running several sessions under one configuration.
+    ///
     /// # Panics
     ///
     /// Panics if `assignment.len() != layout.len()` or contains mask
     /// indices other than 0/1.
     pub fn new(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> Self {
+        let bank = KernelBank::paper_bank(&cfg.litho);
+        IltSession::from_parts(layout, assignment, cfg, bank)
+    }
+
+    fn from_parts(layout: &Layout, assignment: &[u8], cfg: &IltConfig, bank: KernelBank) -> Self {
         assert_eq!(
             assignment.len(),
             layout.len(),
@@ -153,7 +240,6 @@ impl IltSession {
             assignment.iter().all(|&m| m < 2),
             "double patterning uses masks 0 and 1"
         );
-        let bank = KernelBank::paper_bank(&cfg.litho);
         let scale = cfg.litho.nm_per_px;
         let target = layout.rasterize_target(scale);
         let m1 = layout
@@ -177,6 +263,10 @@ impl IltSession {
             m1.map(|v| if v > 0.5 { p0 } else { -p0 }),
             m2.map(|v| if v > 0.5 { p0 } else { -p0 }),
         ];
+        let (w, h) = target.shape();
+        let ws = LithoWorkspace::new(w, h);
+        let fwd = PairForward::zeros(w, h, 2, bank.kernels().len());
+        let grads = [Grid::zeros(w, h), Grid::zeros(w, h)];
         IltSession {
             patterns: layout.patterns().to_vec(),
             cfg: cfg.clone(),
@@ -184,6 +274,9 @@ impl IltSession {
             target,
             corridors,
             p,
+            ws,
+            fwd,
+            grads,
             iterations_done: 0,
             last_l2: f64::NAN,
         }
@@ -201,29 +294,35 @@ impl IltSession {
     }
 
     /// Runs one gradient iteration; returns the pre-update L2 error.
+    ///
+    /// Allocation-free: the forward pass, gradients and scratch all live in
+    /// buffers owned by the session.
     pub fn step_one(&mut self) -> f64 {
-        let fwd = forward_pair(
-            &self.p[0],
-            &self.p[1],
+        forward_multi_into(
+            &self.p,
             &self.target,
             self.cfg.theta_m,
             &self.bank,
             &self.cfg.litho,
+            &mut self.ws,
+            &mut self.fwd,
         );
-        let (g1, g2) = l2_gradient_pair(
-            &fwd,
+        l2_gradient_multi_into(
+            &self.fwd,
             &self.target,
             self.cfg.theta_m,
             &self.bank,
             &self.cfg.litho,
+            &mut self.ws,
+            &mut self.grads,
         );
-        descend(&mut self.p[0], &g1, self.cfg.step_size);
-        descend(&mut self.p[1], &g2, self.cfg.step_size);
+        descend(&mut self.p[0], &self.grads[0], self.cfg.step_size);
+        descend(&mut self.p[1], &self.grads[1], self.cfg.step_size);
         clamp_to_corridor(&mut self.p[0], &self.corridors[0]);
         clamp_to_corridor(&mut self.p[1], &self.corridors[1]);
         self.iterations_done += 1;
-        self.last_l2 = fwd.l2;
-        fwd.l2
+        self.last_l2 = self.fwd.l2;
+        self.fwd.l2
     }
 
     /// Runs `n` further iterations (no violation checks).
@@ -293,7 +392,13 @@ impl IltSession {
 /// Panics if `assignment.len() != layout.len()` or contains values other
 /// than 0/1.
 pub fn optimize(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> IltOutcome {
-    let mut session = IltSession::new(layout, assignment, cfg);
+    run_session(IltSession::new(layout, assignment, cfg))
+}
+
+/// Drives a prepared session through the full optimization loop with
+/// violation checks, as configured by the session's [`IltConfig`].
+fn run_session(mut session: IltSession) -> IltOutcome {
+    let cfg = session.cfg.clone();
     let mut trajectory = Vec::with_capacity(cfg.max_iterations);
     let mut aborted_at = None;
     let mut last_check_epe: Option<usize> = None;
@@ -335,10 +440,7 @@ pub fn optimize(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> IltOutco
 }
 
 fn descend(p: &mut Grid, g: &Grid, step: f32) {
-    let max_abs = g
-        .as_slice()
-        .iter()
-        .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    let max_abs = g.as_slice().iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
     if max_abs <= f32::EPSILON {
         return;
     }

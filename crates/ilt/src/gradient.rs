@@ -17,7 +17,8 @@
 
 use ldmo_geom::Grid;
 use ldmo_litho::{
-    aerial_image, combine_prints, resist_threshold, sigmoid, AerialImage, KernelBank, LithoConfig,
+    aerial_image_into, combine_prints_into, resist_threshold_into, sigmoid, AerialImage,
+    KernelBank, LithoConfig, LithoWorkspace,
 };
 
 /// Forward-pass artifacts for a set of masks (two for the paper's double
@@ -36,10 +37,31 @@ pub struct PairForward {
     pub l2: f64,
 }
 
+impl PairForward {
+    /// Preallocates the forward-pass buffers for `num_masks` masks on
+    /// `width × height` grids under a bank of `num_kernels` kernels, for
+    /// use with [`forward_multi_into`].
+    pub fn zeros(width: usize, height: usize, num_masks: usize, num_kernels: usize) -> Self {
+        PairForward {
+            masks: (0..num_masks).map(|_| Grid::zeros(width, height)).collect(),
+            aerials: (0..num_masks)
+                .map(|_| AerialImage::zeros(width, height, num_kernels))
+                .collect(),
+            resists: (0..num_masks).map(|_| Grid::zeros(width, height)).collect(),
+            printed: Grid::zeros(width, height),
+            l2: f64::NAN,
+        }
+    }
+}
+
 /// The MPL-extension alias: the structure is identical for any mask count.
 pub type MultiForward = PairForward;
 
 /// Runs the forward model for any number of mask parameter fields.
+///
+/// Thin wrapper over [`forward_multi_into`] with transient buffers; hot
+/// loops should hold a [`PairForward`] and a [`LithoWorkspace`] and call
+/// the `_into` variant.
 ///
 /// # Panics
 ///
@@ -52,21 +74,46 @@ pub fn forward_multi(
     litho: &LithoConfig,
 ) -> MultiForward {
     assert!(!ps.is_empty(), "need at least one mask");
-    let masks: Vec<Grid> = ps.iter().map(|p| p.map(|v| sigmoid(theta_m * v))).collect();
-    let aerials: Vec<AerialImage> = masks.iter().map(|m| aerial_image(m, bank)).collect();
-    let resists: Vec<Grid> = aerials
-        .iter()
-        .map(|a| resist_threshold(&a.intensity, litho))
-        .collect();
-    let printed = combine_prints(&resists);
-    let l2 = printed.l2_dist_sq(target).expect("shapes match");
-    PairForward {
-        masks,
-        aerials,
-        resists,
-        printed,
-        l2,
+    let (w, h) = ps[0].shape();
+    let mut ws = LithoWorkspace::new(w, h);
+    let mut out = PairForward::zeros(w, h, ps.len(), bank.kernels().len());
+    forward_multi_into(ps, target, theta_m, bank, litho, &mut ws, &mut out);
+    out
+}
+
+/// Buffer-reuse variant of [`forward_multi`]: every artifact is written
+/// into `out` (fully overwritten). Allocation-free.
+///
+/// # Panics
+///
+/// Panics if `ps` is empty or `out`/`ws` were not allocated for this mask
+/// count, kernel count and grid shape.
+pub fn forward_multi_into(
+    ps: &[Grid],
+    target: &Grid,
+    theta_m: f32,
+    bank: &KernelBank,
+    litho: &LithoConfig,
+    ws: &mut LithoWorkspace,
+    out: &mut MultiForward,
+) {
+    assert!(!ps.is_empty(), "need at least one mask");
+    assert_eq!(
+        out.masks.len(),
+        ps.len(),
+        "forward buffer mask count mismatch"
+    );
+    for (mask, p) in out.masks.iter_mut().zip(ps) {
+        mask.map_from(p, |v| sigmoid(theta_m * v));
     }
+    for (aerial, mask) in out.aerials.iter_mut().zip(&out.masks) {
+        aerial_image_into(mask, bank, &mut ws.conv, aerial);
+    }
+    for (resist, aerial) in out.resists.iter_mut().zip(&out.aerials) {
+        resist_threshold_into(&aerial.intensity, litho, resist);
+    }
+    combine_prints_into(&out.resists, &mut out.printed);
+    out.l2 = out.printed.l2_dist_sq(target).expect("shapes match");
 }
 
 /// Runs the forward model for parameters `(p1, p2)` against `target`.
@@ -82,6 +129,8 @@ pub fn forward_pair(
 }
 
 /// Computes `∂L/∂P_i` for every mask of a forward pass.
+///
+/// Thin wrapper over [`l2_gradient_multi_into`] with transient buffers.
 pub fn l2_gradient_multi(
     fwd: &MultiForward,
     target: &Grid,
@@ -90,21 +139,47 @@ pub fn l2_gradient_multi(
     litho: &LithoConfig,
 ) -> Vec<Grid> {
     let (w, h) = fwd.printed.shape();
+    let mut ws = LithoWorkspace::new(w, h);
+    let mut grads: Vec<Grid> = (0..fwd.masks.len()).map(|_| Grid::zeros(w, h)).collect();
+    l2_gradient_multi_into(fwd, target, theta_m, bank, litho, &mut ws, &mut grads);
+    grads
+}
+
+/// Buffer-reuse variant of [`l2_gradient_multi`]: the per-mask gradients
+/// are written into `grads` (fully overwritten). Allocation-free.
+///
+/// # Panics
+///
+/// Panics if `grads.len() != fwd.masks.len()` or shapes differ.
+pub fn l2_gradient_multi_into(
+    fwd: &MultiForward,
+    target: &Grid,
+    theta_m: f32,
+    bank: &KernelBank,
+    litho: &LithoConfig,
+    ws: &mut LithoWorkspace,
+    grads: &mut [Grid],
+) {
+    assert_eq!(
+        grads.len(),
+        fwd.masks.len(),
+        "gradient buffer mask count mismatch"
+    );
     // ∂L/∂T gated by the min branch: zero where Σ T_i ≥ 1
-    let mut dl_dt = Grid::zeros(w, h);
     {
         let t = fwd.printed.as_slice();
         let tp = target.as_slice();
-        let out = dl_dt.as_mut_slice();
+        let out = ws.grad.dl_dt.as_mut_slice();
+        assert_eq!(t.len(), out.len(), "output shape mismatch");
         for i in 0..out.len() {
             let sum: f32 = fwd.resists.iter().map(|r| r.as_slice()[i]).sum();
             let gate = if sum < 1.0 { 1.0 } else { 0.0 };
             out[i] = 2.0 * (t[i] - tp[i]) * gate;
         }
     }
-    (0..fwd.masks.len())
-        .map(|idx| grad_one_mask(fwd, idx, &dl_dt, theta_m, bank, litho))
-        .collect()
+    for (idx, out) in grads.iter_mut().enumerate() {
+        grad_one_mask_into(fwd, idx, theta_m, bank, litho, ws, out);
+    }
 }
 
 /// Computes `(∂L/∂P1, ∂L/∂P2)` from a forward pass.
@@ -122,49 +197,47 @@ pub fn l2_gradient_pair(
     (g1, g2)
 }
 
-fn grad_one_mask(
+/// Workspace-backed gradient of one mask. Expects `ws.grad.dl_dt` to hold
+/// the gated `∂L/∂T`; uses the remaining scratch grids and overwrites `out`.
+fn grad_one_mask_into(
     fwd: &PairForward,
     idx: usize,
-    dl_dt: &Grid,
     theta_m: f32,
     bank: &KernelBank,
     litho: &LithoConfig,
-) -> Grid {
-    let (w, h) = dl_dt.shape();
+    ws: &mut LithoWorkspace,
+    out: &mut Grid,
+) {
+    assert_eq!(out.shape(), ws.grad.dl_dt.shape(), "output shape mismatch");
     // G = ∂L/∂I_i = dl_dt ⊙ θz T_i (1 − T_i)
-    let mut g_int = Grid::zeros(w, h);
     {
         let t = fwd.resists[idx].as_slice();
-        let d = dl_dt.as_slice();
-        let out = g_int.as_mut_slice();
-        for i in 0..out.len() {
-            out[i] = d[i] * litho.theta_z * t[i] * (1.0 - t[i]);
+        let d = ws.grad.dl_dt.as_slice();
+        let g = ws.grad.g_int.as_mut_slice();
+        for i in 0..g.len() {
+            g[i] = d[i] * litho.theta_z * t[i] * (1.0 - t[i]);
         }
     }
     // ∂L/∂M_i = Σ_k 2 w_k (G ⊙ field_k) ⊗ h_k
-    let mut dl_dm = Grid::zeros(w, h);
+    out.fill(0.0);
     for (k, kernel) in bank.kernels().iter().enumerate() {
         let field = &fwd.aerials[idx].fields[k];
-        let weighted = g_int
-            .zip_map(field, |g, f| g * f)
-            .expect("shapes match");
-        let back = kernel.backproject(&weighted);
+        ws.grad
+            .weighted
+            .zip_from(&ws.grad.g_int, field, |g, f| g * f);
+        kernel.backproject_into(&ws.grad.weighted, &mut ws.conv, &mut ws.grad.back);
         let wk = 2.0 * kernel.weight() as f32;
-        let acc = dl_dm.as_mut_slice();
-        for (a, &b) in acc.iter_mut().zip(back.as_slice()) {
+        let acc = out.as_mut_slice();
+        for (a, &b) in acc.iter_mut().zip(ws.grad.back.as_slice()) {
             *a += wk * b;
         }
     }
     // chain through Eq. 1: ∂M/∂P = θm M (1 − M)
     let m = fwd.masks[idx].as_slice();
-    let mut out = dl_dm;
-    {
-        let s = out.as_mut_slice();
-        for i in 0..s.len() {
-            s[i] *= theta_m * m[i] * (1.0 - m[i]);
-        }
+    let s = out.as_mut_slice();
+    for i in 0..s.len() {
+        s[i] *= theta_m * m[i] * (1.0 - m[i]);
     }
-    out
 }
 
 #[cfg(test)]
@@ -182,7 +255,12 @@ mod tests {
             ..LithoConfig::default()
         };
         let bank = KernelBank::new(vec![
-            CoherentKernel::difference_of_gaussians(3.0, 6.0, 0.3, 0.8 * litho.total_kernel_weight()),
+            CoherentKernel::difference_of_gaussians(
+                3.0,
+                6.0,
+                0.3,
+                0.8 * litho.total_kernel_weight(),
+            ),
             CoherentKernel::gaussian(6.0, 0.2 * litho.total_kernel_weight()),
         ]);
         let mut target = Grid::zeros(32, 32);

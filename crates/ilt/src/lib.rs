@@ -36,8 +36,11 @@ pub mod multi;
 pub mod rule_opc;
 
 pub use engine::{
-    IltSession,
-    evaluate_unoptimized, optimize, IltConfig, IltOutcome, IterationStats, ViolationPolicy,
+    evaluate_unoptimized, optimize, IltConfig, IltContext, IltOutcome, IltSession, IterationStats,
+    ViolationPolicy,
 };
-pub use gradient::{forward_multi, l2_gradient_multi, l2_gradient_pair, MultiForward, PairForward};
+pub use gradient::{
+    forward_multi, forward_multi_into, forward_pair, l2_gradient_multi, l2_gradient_multi_into,
+    l2_gradient_pair, MultiForward, PairForward,
+};
 pub use multi::{greedy_coloring, optimize_multi, MultiIltOutcome};

@@ -10,12 +10,12 @@
 //! (the [`greedy_coloring`] decomposition).
 
 use crate::engine::IltConfig;
-use crate::gradient::{forward_multi, l2_gradient_multi};
+use crate::gradient::{forward_multi_into, l2_gradient_multi_into, PairForward};
 use ldmo_geom::Grid;
 use ldmo_layout::{Layout, MaskAssignment};
 use ldmo_litho::{
     combine_prints, detect_violations, measure_epe, simulate_print, EpeReport, KernelBank,
-    ViolationReport,
+    LithoWorkspace, ViolationReport,
 };
 
 /// Outcome of a multi-mask ILT run.
@@ -81,9 +81,30 @@ pub fn optimize_multi(
                 .expect("assignment length checked"),
         );
     }
+    // all iteration buffers allocated once, outside the hot loop
+    let (w, h) = target.shape();
+    let mut ws = LithoWorkspace::new(w, h);
+    let mut fwd = PairForward::zeros(w, h, num_masks, bank.kernels().len());
+    let mut grads: Vec<Grid> = (0..num_masks).map(|_| Grid::zeros(w, h)).collect();
     for _ in 0..cfg.max_iterations {
-        let fwd = forward_multi(&ps, &target, cfg.theta_m, &bank, &cfg.litho);
-        let grads = l2_gradient_multi(&fwd, &target, cfg.theta_m, &bank, &cfg.litho);
+        forward_multi_into(
+            &ps,
+            &target,
+            cfg.theta_m,
+            &bank,
+            &cfg.litho,
+            &mut ws,
+            &mut fwd,
+        );
+        l2_gradient_multi_into(
+            &fwd,
+            &target,
+            cfg.theta_m,
+            &bank,
+            &cfg.litho,
+            &mut ws,
+            &mut grads,
+        );
         for (p, g) in ps.iter_mut().zip(&grads) {
             descend(p, g, cfg.step_size);
         }
@@ -103,12 +124,7 @@ pub fn optimize_multi(
     let printed = combine_prints(&prints);
     let epe = measure_epe(&printed, layout.patterns(), &cfg.litho);
     let l2 = printed.l2_dist_sq(&target).expect("shapes match");
-    let violations = detect_violations(
-        &printed,
-        layout.patterns(),
-        cfg.litho.print_level,
-        scale,
-    );
+    let violations = detect_violations(&printed, layout.patterns(), cfg.litho.print_level, scale);
     MultiIltOutcome {
         masks,
         printed,
@@ -120,10 +136,7 @@ pub fn optimize_multi(
 }
 
 fn descend(p: &mut Grid, g: &Grid, step: f32) {
-    let max_abs = g
-        .as_slice()
-        .iter()
-        .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    let max_abs = g.as_slice().iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
     if max_abs <= f32::EPSILON {
         return;
     }
@@ -237,10 +250,7 @@ mod tests {
 
     #[test]
     fn single_mask_case_degenerates_gracefully() {
-        let layout = Layout::new(
-            Rect::new(0, 0, 448, 448),
-            vec![Rect::square(192, 192, 64)],
-        );
+        let layout = Layout::new(Rect::new(0, 0, 448, 448), vec![Rect::square(192, 192, 64)]);
         let out = optimize_multi(&layout, &[0], 1, &fast_cfg());
         assert_eq!(out.masks.len(), 1);
         assert_eq!(out.epe_violations(), 0);

@@ -99,13 +99,22 @@ pub fn biased_patterns(layout: &Layout, assignment: &[u8], rules: &RuleTable) ->
 /// # Panics
 ///
 /// Panics if the assignment length mismatches the layout.
-pub fn rule_opc(layout: &Layout, assignment: &[u8], rules: &RuleTable, cfg: &IltConfig) -> RuleOpcOutcome {
+pub fn rule_opc(
+    layout: &Layout,
+    assignment: &[u8],
+    rules: &RuleTable,
+    cfg: &IltConfig,
+) -> RuleOpcOutcome {
     assert_eq!(
         assignment.len(),
         layout.len(),
         "assignment must cover every pattern"
     );
-    let num_masks = assignment.iter().copied().max().map_or(1, |m| m as usize + 1);
+    let num_masks = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |m| m as usize + 1);
     let bank = KernelBank::paper_bank(&cfg.litho);
     let scale = cfg.litho.nm_per_px;
     let biased = biased_patterns(layout, assignment, rules);
@@ -125,12 +134,7 @@ pub fn rule_opc(layout: &Layout, assignment: &[u8], rules: &RuleTable, cfg: &Ilt
     let printed = combine_prints(&prints);
     let epe = measure_epe(&printed, layout.patterns(), &cfg.litho);
     let l2 = printed.l2_dist_sq(&target).expect("shapes match");
-    let violations = detect_violations(
-        &printed,
-        layout.patterns(),
-        cfg.litho.print_level,
-        scale,
-    );
+    let violations = detect_violations(&printed, layout.patterns(), cfg.litho.print_level, scale);
     RuleOpcOutcome {
         masks,
         printed,
@@ -228,7 +232,12 @@ mod tests {
                 Rect::square(184, 230, 64),
             ],
         );
-        let out = rule_opc(&layout, &[0, 1, 2], &RuleTable::default(), &IltConfig::default());
+        let out = rule_opc(
+            &layout,
+            &[0, 1, 2],
+            &RuleTable::default(),
+            &IltConfig::default(),
+        );
         assert_eq!(out.masks.len(), 3);
     }
 }

@@ -1,0 +1,66 @@
+//! Allocation-count regression test: `IltSession::step_one` must not touch
+//! the heap once the session is constructed — every per-iteration buffer
+//! (forward artifacts, gradients, convolution scratch) is owned by the
+//! session.
+//!
+//! This test lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]`, which must not observe allocations from
+//! unrelated concurrently running tests.
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator and counts every allocation and
+/// reallocation (frees are irrelevant to the regression being guarded).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn step_one_is_allocation_free_after_warmup() {
+    use ldmo_geom::Rect;
+    use ldmo_ilt::{IltConfig, IltSession};
+    use ldmo_layout::Layout;
+
+    let layout = Layout::new(
+        Rect::new(0, 0, 448, 448),
+        vec![
+            Rect::square(120, 120, 64),
+            Rect::square(248, 120, 64),
+            Rect::square(120, 248, 64),
+            Rect::square(248, 248, 64),
+        ],
+    );
+    let mut session = IltSession::new(&layout, &[0, 1, 1, 0], &IltConfig::default());
+    // warmup: the first iterations populate anything touched lazily
+    session.step_one();
+    session.step_one();
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let l2 = session.step_one();
+    let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert!(l2.is_finite());
+    assert_eq!(
+        allocated, 0,
+        "step_one performed {allocated} heap allocations; the hot path must reuse session buffers"
+    );
+}

@@ -32,7 +32,14 @@ fn cell_from(corners: &[(i32, i32)]) -> Layout {
 /// Names of all available cell templates.
 pub fn names() -> &'static [&'static str] {
     &[
-        "INV_X1", "BUF_X1", "NAND2_X1", "NAND3_X2", "NOR2_X1", "AOI211_X1", "OAI21_X1", "DFF_X1",
+        "INV_X1",
+        "BUF_X1",
+        "NAND2_X1",
+        "NAND3_X2",
+        "NOR2_X1",
+        "AOI211_X1",
+        "OAI21_X1",
+        "DFF_X1",
     ]
 }
 

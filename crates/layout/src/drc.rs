@@ -96,14 +96,10 @@ pub fn check_drc(layout: &Layout, rules: &DrcRules) -> Vec<DrcViolation> {
         }
     }
     let gaps = layout.gap_matrix();
-    for i in 0..layout.len() {
-        for j in (i + 1)..layout.len() {
-            if gaps[i][j] < rules.min_spacing {
-                violations.push(DrcViolation::Spacing {
-                    a: i,
-                    b: j,
-                    gap: gaps[i][j],
-                });
+    for (i, row) in gaps.iter().enumerate() {
+        for (j, &gap) in row.iter().enumerate().skip(i + 1) {
+            if gap < rules.min_spacing {
+                violations.push(DrcViolation::Spacing { a: i, b: j, gap });
             }
         }
     }

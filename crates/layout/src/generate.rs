@@ -257,7 +257,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen_sp && seen_vp && seen_np, "sp={seen_sp} vp={seen_vp} np={seen_np}");
+        assert!(
+            seen_sp && seen_vp && seen_np,
+            "sp={seen_sp} vp={seen_vp} np={seen_np}"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl From<std::io::Error> for ParseLayoutError {
 /// Serializes a layout into the text format.
 pub fn to_string(layout: &Layout) -> String {
     let w = layout.window();
-    let mut s = format!("ldmo-layout v1\nwindow {} {} {} {}\n", w.x0, w.y0, w.x1, w.y1);
+    let mut s = format!(
+        "ldmo-layout v1\nwindow {} {} {} {}\n",
+        w.x0, w.y0, w.x1, w.y1
+    );
     for r in layout.patterns() {
         s.push_str(&format!("pattern {} {} {} {}\n", r.x0, r.y0, r.x1, r.y1));
     }

@@ -172,6 +172,9 @@ impl Layout {
     pub fn gap_matrix(&self) -> Vec<Vec<f64>> {
         let n = self.patterns.len();
         let mut m = vec![vec![f64::INFINITY; n]; n];
+        // symmetric fill: both `m[i][j]` and `m[j][i]` are written, so an
+        // iterator over rows cannot express this
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in (i + 1)..n {
                 let g = self.patterns[i].gap_to(&self.patterns[j]);
@@ -270,7 +273,10 @@ mod tests {
 
     #[test]
     fn window_offset_respected_in_raster() {
-        let l = Layout::new(Rect::new(100, 100, 228, 228), vec![Rect::square(100, 100, 64)]);
+        let l = Layout::new(
+            Rect::new(100, 100, 228, 228),
+            vec![Rect::square(100, 100, 64)],
+        );
         let g = l.rasterize_target(1.0);
         assert_eq!(g.shape(), (128, 128));
         assert_eq!(g.get(0, 0), 1.0); // pattern at window origin

@@ -1,6 +1,7 @@
 //! Aerial image formation: `I = Σ_k w_k (M ⊗ h_k)²`.
 
 use crate::kernel::KernelBank;
+use crate::workspace::ConvScratch;
 use ldmo_geom::Grid;
 
 /// The aerial image of a mask together with the per-kernel coherent fields,
@@ -11,6 +12,19 @@ pub struct AerialImage {
     pub intensity: Grid,
     /// Coherent field `M ⊗ h_k` per kernel, same order as the bank.
     pub fields: Vec<Grid>,
+}
+
+impl AerialImage {
+    /// Preallocates an aerial image for a `width × height` grid under a
+    /// bank of `num_kernels` kernels, for use with [`aerial_image_into`].
+    pub fn zeros(width: usize, height: usize, num_kernels: usize) -> Self {
+        AerialImage {
+            intensity: Grid::zeros(width, height),
+            fields: (0..num_kernels)
+                .map(|_| Grid::zeros(width, height))
+                .collect(),
+        }
+    }
 }
 
 /// Computes the aerial image of `mask` under the optical system `bank`.
@@ -30,21 +44,47 @@ pub struct AerialImage {
 /// ```
 pub fn aerial_image(mask: &Grid, bank: &KernelBank) -> AerialImage {
     let (w, h) = mask.shape();
-    let mut intensity = Grid::zeros(w, h);
-    let mut fields = Vec::with_capacity(bank.kernels().len());
-    for kernel in bank.kernels() {
-        let field = kernel.field(mask);
+    let mut scratch = ConvScratch::new(w, h);
+    let mut out = AerialImage::zeros(w, h, bank.kernels().len());
+    aerial_image_into(mask, bank, &mut scratch, &mut out);
+    out
+}
+
+/// Buffer-reuse variant of [`aerial_image`]: writes intensity and per-kernel
+/// fields into `out` (fully overwritten). Allocation-free.
+///
+/// # Panics
+///
+/// Panics if `out` was not allocated for `mask`'s shape and `bank`'s kernel
+/// count.
+pub fn aerial_image_into(
+    mask: &Grid,
+    bank: &KernelBank,
+    scratch: &mut ConvScratch,
+    out: &mut AerialImage,
+) {
+    assert_eq!(
+        out.fields.len(),
+        bank.kernels().len(),
+        "aerial buffer kernel count mismatch"
+    );
+    assert_eq!(mask.shape(), out.intensity.shape(), "output shape mismatch");
+    // first kernel writes, the rest accumulate: no full-grid zero-fill
+    for (k, (kernel, field)) in bank.kernels().iter().zip(&mut out.fields).enumerate() {
+        kernel.field_into(mask, scratch, field);
         let wk = kernel.weight() as f32;
-        {
-            let acc = intensity.as_mut_slice();
-            let f = field.as_slice();
+        let acc = out.intensity.as_mut_slice();
+        let f = field.as_slice();
+        if k == 0 {
+            for (a, &v) in acc.iter_mut().zip(f) {
+                *a = wk * v * v;
+            }
+        } else {
             for (a, &v) in acc.iter_mut().zip(f) {
                 *a += wk * v * v;
             }
         }
-        fields.push(field);
     }
-    AerialImage { intensity, fields }
 }
 
 #[cfg(test)]

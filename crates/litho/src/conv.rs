@@ -45,12 +45,31 @@ pub fn convolve2d_direct(input: &Grid, kernel: &[f32], kw: usize, kh: usize) -> 
 /// Separable convolution with a centered, odd-length 1-D `profile` applied
 /// along x then along y: `input ⊗ (p pᵀ)`. `O(W·H·k)` per axis.
 ///
+/// Thin wrapper over [`convolve_separable_into`] with transient buffers;
+/// hot loops should hold the buffers and call the `_into` variant.
+///
 /// # Panics
 ///
 /// Panics if `profile.len()` is even.
 pub fn convolve_separable(input: &Grid, profile: &[f32]) -> Grid {
-    let tmp = convolve_rows(input, profile);
-    convolve_cols(&tmp, profile)
+    let (w, h) = input.shape();
+    let mut tmp = Grid::zeros(w, h);
+    let mut out = Grid::zeros(w, h);
+    convolve_separable_into(input, profile, &mut tmp, &mut out);
+    out
+}
+
+/// Buffer-reuse variant of [`convolve_separable`]: the row pass writes into
+/// `tmp`, the column pass into `out`. Neither buffer's prior contents
+/// matter; both are fully overwritten. Allocation-free.
+///
+/// # Panics
+///
+/// Panics if `profile.len()` is even or either buffer's shape differs from
+/// `input`'s.
+pub fn convolve_separable_into(input: &Grid, profile: &[f32], tmp: &mut Grid, out: &mut Grid) {
+    convolve_rows_into(input, profile, tmp);
+    convolve_cols_into(tmp, profile, out);
 }
 
 /// Correlation with a separable symmetric kernel. For the symmetric Gaussian
@@ -62,57 +81,108 @@ pub fn correlate_separable(input: &Grid, profile: &[f32]) -> Grid {
     convolve_separable(input, profile)
 }
 
-fn convolve_rows(input: &Grid, profile: &[f32]) -> Grid {
-    assert!(profile.len() % 2 == 1, "profile must be odd-length");
-    let (w, h) = input.shape();
-    let c = (profile.len() / 2) as i64;
-    let mut out = Grid::zeros(w, h);
-    let src = input.as_slice();
-    let dst = out.as_mut_slice();
-    for y in 0..h {
-        let row = &src[y * w..(y + 1) * w];
-        let out_row = &mut dst[y * w..(y + 1) * w];
-        // tap-outer accumulation over contiguous slices: for tap offset
-        // `off = k - c`, out[x] += row[x - off] * p, i.e. a shifted
-        // slice-add the compiler vectorizes
-        for (k, &p) in profile.iter().enumerate() {
-            let off = k as i64 - c;
-            let (dst_range, src_range) = if off >= 0 {
-                let off = (off as usize).min(w);
-                (off..w, 0..w - off)
-            } else {
-                let off = ((-off) as usize).min(w);
-                (0..w - off, off..w)
-            };
-            for (d, &s) in out_row[dst_range].iter_mut().zip(&row[src_range]) {
-                *d += s * p;
-            }
-        }
-    }
-    out
+/// Buffer-reuse variant of [`correlate_separable`]; see
+/// [`convolve_separable_into`].
+pub fn correlate_separable_into(input: &Grid, profile: &[f32], tmp: &mut Grid, out: &mut Grid) {
+    convolve_separable_into(input, profile, tmp, out);
 }
 
-fn convolve_cols(input: &Grid, profile: &[f32]) -> Grid {
+/// Output tile width of the register-blocked convolution passes: the
+/// accumulator tile lives in SIMD registers across the whole tap loop, so
+/// the output row is written exactly once instead of once per tap.
+const TILE: usize = 32;
+
+/// Stack capacity for the zero-padded source row of the row pass; rows
+/// needing more (width + 2·radius) fall back to one heap allocation.
+const PAD_STACK: usize = 1024;
+
+fn convolve_rows_into(input: &Grid, profile: &[f32], out: &mut Grid) {
     assert!(profile.len() % 2 == 1, "profile must be odd-length");
+    assert_eq!(input.shape(), out.shape(), "output shape mismatch");
     let (w, h) = input.shape();
-    let c = (profile.len() / 2) as i64;
-    let mut out = Grid::zeros(w, h);
+    let k_len = profile.len();
+    let c = k_len / 2;
+    let src = input.as_slice();
+    let dst = out.as_mut_slice();
+    // zero-padded row: out-of-range taps read an exact 0.0 instead of
+    // branching, which keeps every tile iteration branch-free
+    let padded_len = w + 2 * c;
+    let mut stack_buf = [0.0f32; PAD_STACK];
+    let mut heap_buf = Vec::new();
+    let padded: &mut [f32] = if padded_len <= PAD_STACK {
+        &mut stack_buf[..padded_len]
+    } else {
+        heap_buf.resize(padded_len, 0.0);
+        &mut heap_buf
+    };
+    for y in 0..h {
+        padded[c..c + w].copy_from_slice(&src[y * w..(y + 1) * w]);
+        let out_row = &mut dst[y * w..(y + 1) * w];
+        // out[x] = Σ_k p[k] · row[x - (k - c)] = Σ_k p[k] · padded[x + 2c - k],
+        // accumulated in increasing-k order per element (the same order as
+        // a tap-at-a-time pass over a zeroed output)
+        let mut x = 0;
+        while x + TILE <= w {
+            let mut acc = [0.0f32; TILE];
+            for (k, &p) in profile.iter().enumerate() {
+                let s = &padded[x + 2 * c - k..x + 2 * c - k + TILE];
+                for j in 0..TILE {
+                    acc[j] += s[j] * p;
+                }
+            }
+            out_row[x..x + TILE].copy_from_slice(&acc);
+            x += TILE;
+        }
+        for (xr, o) in out_row.iter_mut().enumerate().skip(x) {
+            let mut a = 0.0f32;
+            for (k, &p) in profile.iter().enumerate() {
+                a += padded[xr + 2 * c - k] * p;
+            }
+            *o = a;
+        }
+    }
+}
+
+fn convolve_cols_into(input: &Grid, profile: &[f32], out: &mut Grid) {
+    assert!(profile.len() % 2 == 1, "profile must be odd-length");
+    assert_eq!(input.shape(), out.shape(), "output shape mismatch");
+    let (w, h) = input.shape();
+    let k_len = profile.len();
+    let c = k_len as i64 / 2;
     let src = input.as_slice();
     let dst = out.as_mut_slice();
     for y in 0..h {
-        for (k, &p) in profile.iter().enumerate() {
-            let sy = y as i64 - (k as i64 - c);
-            if sy < 0 || sy as usize >= h {
-                continue;
+        let out_row = &mut dst[y * w..(y + 1) * w];
+        // out(x, y) = Σ_k p[k] · in(x, y - (k - c)); out-of-range source
+        // rows contribute nothing, and k stays increasing per element
+        let mut x = 0;
+        while x + TILE <= w {
+            let mut acc = [0.0f32; TILE];
+            for (k, &p) in profile.iter().enumerate() {
+                let sy = y as i64 - (k as i64 - c);
+                if sy < 0 || sy as usize >= h {
+                    continue;
+                }
+                let s = &src[sy as usize * w + x..sy as usize * w + x + TILE];
+                for j in 0..TILE {
+                    acc[j] += s[j] * p;
+                }
             }
-            let src_row = &src[sy as usize * w..(sy as usize + 1) * w];
-            let dst_row = &mut dst[y * w..(y + 1) * w];
-            for (d, &s) in dst_row.iter_mut().zip(src_row) {
-                *d += s * p;
+            out_row[x..x + TILE].copy_from_slice(&acc);
+            x += TILE;
+        }
+        for (xr, o) in out_row.iter_mut().enumerate().skip(x) {
+            let mut a = 0.0f32;
+            for (k, &p) in profile.iter().enumerate() {
+                let sy = y as i64 - (k as i64 - c);
+                if sy < 0 || sy as usize >= h {
+                    continue;
+                }
+                a += src[sy as usize * w + xr] * p;
             }
+            *o = a;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -190,6 +260,32 @@ mod tests {
     fn even_kernel_rejected() {
         let g = Grid::zeros(4, 4);
         let _ = convolve2d_direct(&g, &[0.5, 0.5], 2, 1);
+    }
+
+    #[test]
+    fn into_variant_overwrites_dirty_buffers_bit_identically() {
+        let profile = [0.2f32, 0.6, 0.2];
+        let mut g = Grid::zeros(9, 9);
+        g.set(4, 4, 1.0);
+        g.set(0, 8, -2.0);
+        let reference = convolve_separable(&g, &profile);
+        // garbage in the buffers must not leak into the result
+        let mut tmp = Grid::filled(9, 9, f32::NAN);
+        let mut out = Grid::filled(9, 9, 123.0);
+        convolve_separable_into(&g, &profile, &mut tmp, &mut out);
+        assert_eq!(out, reference);
+        let mut out2 = Grid::filled(9, 9, -7.0);
+        correlate_separable_into(&g, &profile, &mut tmp, &mut out2);
+        assert_eq!(out2, correlate_separable(&g, &profile));
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn into_variant_rejects_wrong_shape() {
+        let g = Grid::zeros(4, 4);
+        let mut tmp = Grid::zeros(4, 4);
+        let mut out = Grid::zeros(5, 4);
+        convolve_separable_into(&g, &[1.0], &mut tmp, &mut out);
     }
 
     proptest! {

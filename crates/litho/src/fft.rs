@@ -28,6 +28,7 @@ impl Complex {
     }
 
     /// Complex multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Complex) -> Complex {
         Complex::new(
             self.re * o.re - self.im * o.im,
@@ -36,11 +37,13 @@ impl Complex {
     }
 
     /// Complex addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Complex) -> Complex {
         Complex::new(self.re + o.re, self.im + o.im)
     }
 
     /// Complex subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Complex) -> Complex {
         Complex::new(self.re - o.re, self.im - o.im)
     }

@@ -23,7 +23,8 @@
 //! the forward convolution and the gradient back-projection stay on the
 //! fast separable path.
 
-use crate::conv::{convolve_separable, correlate_separable};
+use crate::conv::{convolve_separable_into, correlate_separable_into};
+use crate::workspace::ConvScratch;
 use crate::LithoConfig;
 use ldmo_geom::Grid;
 
@@ -125,32 +126,82 @@ impl CoherentKernel {
 
     /// The coherent field `M ⊗ h_k` of a mask (may be negative for DoG
     /// kernels — the destructive-interference ring).
+    ///
+    /// Thin wrapper over [`CoherentKernel::field_into`] with a transient
+    /// scratch; hot loops should hold a [`ConvScratch`] and call the
+    /// `_into` variant.
     pub fn field(&self, mask: &Grid) -> Grid {
         let (w, h) = mask.shape();
-        let mut acc = Grid::zeros(w, h);
-        for c in &self.components {
-            let part = convolve_separable(mask, &c.profile);
-            let a = acc.as_mut_slice();
-            for (v, &p) in a.iter_mut().zip(part.as_slice()) {
-                *v += c.amplitude * p;
+        let mut scratch = ConvScratch::new(w, h);
+        let mut out = Grid::zeros(w, h);
+        self.field_into(mask, &mut scratch, &mut out);
+        out
+    }
+
+    /// Buffer-reuse variant of [`CoherentKernel::field`]: accumulates the
+    /// signed component sum into `out` (fully overwritten) using `scratch`
+    /// for the separable passes. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` or `out` shapes differ from `mask`'s.
+    pub fn field_into(&self, mask: &Grid, scratch: &mut ConvScratch, out: &mut Grid) {
+        assert_eq!(mask.shape(), out.shape(), "output shape mismatch");
+        // first component writes, the rest accumulate: skips a full-grid
+        // zero-fill per call on the single-component (plain Gaussian) case
+        for (i, c) in self.components.iter().enumerate() {
+            convolve_separable_into(mask, &c.profile, &mut scratch.tmp, &mut scratch.part);
+            let a = out.as_mut_slice();
+            if i == 0 {
+                for (v, &p) in a.iter_mut().zip(scratch.part.as_slice()) {
+                    *v = c.amplitude * p;
+                }
+            } else {
+                for (v, &p) in a.iter_mut().zip(scratch.part.as_slice()) {
+                    *v += c.amplitude * p;
+                }
             }
         }
-        acc
     }
 
     /// Back-projection `g ⊗ h_k` used by the ILT gradient (`h_k` is
     /// symmetric, so correlation equals convolution).
     pub fn backproject(&self, g: &Grid) -> Grid {
         let (w, h) = g.shape();
-        let mut acc = Grid::zeros(w, h);
-        for c in &self.components {
-            let part = correlate_separable(g, &c.profile);
-            let a = acc.as_mut_slice();
-            for (v, &p) in a.iter_mut().zip(part.as_slice()) {
-                *v += c.amplitude * p;
+        let mut scratch = ConvScratch::new(w, h);
+        let mut out = Grid::zeros(w, h);
+        self.backproject_into(g, &mut scratch, &mut out);
+        out
+    }
+
+    /// Buffer-reuse variant of [`CoherentKernel::backproject`]; see
+    /// [`CoherentKernel::field_into`].
+    pub fn backproject_into(&self, g: &Grid, scratch: &mut ConvScratch, out: &mut Grid) {
+        assert_eq!(g.shape(), out.shape(), "output shape mismatch");
+        for (i, c) in self.components.iter().enumerate() {
+            correlate_separable_into(g, &c.profile, &mut scratch.tmp, &mut scratch.part);
+            let a = out.as_mut_slice();
+            if i == 0 {
+                for (v, &p) in a.iter_mut().zip(scratch.part.as_slice()) {
+                    *v = c.amplitude * p;
+                }
+            } else {
+                for (v, &p) in a.iter_mut().zip(scratch.part.as_slice()) {
+                    *v += c.amplitude * p;
+                }
             }
         }
-        acc
+    }
+
+    /// The separable Gaussian components as `(amplitude, profile)` pairs:
+    /// each profile is centered, odd-length and unit-sum. This is the raw
+    /// material for external convolution implementations (benchmark
+    /// baselines, accelerator ports) that must match the built-in passes
+    /// exactly.
+    pub fn components(&self) -> impl Iterator<Item = (f32, &[f32])> {
+        self.components
+            .iter()
+            .map(|c| (c.amplitude, c.profile.as_slice()))
     }
 
     /// Dense 2-D realization of the kernel (sum of outer products), for the
@@ -168,8 +219,7 @@ impl CoherentKernel {
             let off = (k - c.profile.len()) / 2;
             for y in 0..c.profile.len() {
                 for x in 0..c.profile.len() {
-                    dense[(y + off) * k + (x + off)] +=
-                        c.amplitude * c.profile[y] * c.profile[x];
+                    dense[(y + off) * k + (x + off)] += c.amplitude * c.profile[y] * c.profile[x];
                 }
             }
         }
@@ -269,7 +319,11 @@ mod tests {
         let mut mask = Grid::zeros(96, 96);
         mask.fill_rect(&Rect::new(24, 24, 72, 72), 1.0);
         let f = k.field(&mask);
-        assert!((f.get(48, 48) - 1.0).abs() < 1e-3, "center {}", f.get(48, 48));
+        assert!(
+            (f.get(48, 48) - 1.0).abs() < 1e-3,
+            "center {}",
+            f.get(48, 48)
+        );
         // outside the pattern at ring distance: field goes negative
         let ring_sample = f.get(48, 84); // 12 px beyond the edge (= 3σ main)
         assert!(

@@ -55,17 +55,25 @@ mod metrics;
 pub mod process;
 mod resist;
 mod violation;
+mod workspace;
 
-pub use aerial::{aerial_image, AerialImage};
+pub use aerial::{aerial_image, aerial_image_into, AerialImage};
 pub use components::{label_components, ComponentLabels};
 pub use contour::{contour_length, extract_contour, ContourSegment};
-pub use conv::{convolve2d_direct, convolve_separable, correlate_separable};
+pub use conv::{
+    convolve2d_direct, convolve_separable, convolve_separable_into, correlate_separable,
+    correlate_separable_into,
+};
 pub use epe::{measure_epe, EpeCheckpoint, EpeReport, EpeSite};
 pub use fft::{convolve2d_fft, fft2d, ifft2d, Complex};
 pub use kernel::{CoherentKernel, KernelBank};
 pub use metrics::{l2_error, pvband_area};
-pub use resist::{combine_double_pattern, combine_prints, resist_threshold, sigmoid};
+pub use resist::{
+    combine_double_pattern, combine_prints, combine_prints_into, resist_threshold,
+    resist_threshold_into, sigmoid,
+};
 pub use violation::{detect_violations, ViolationKind, ViolationReport};
+pub use workspace::{ConvScratch, GradScratch, LithoWorkspace};
 
 use ldmo_geom::Grid;
 

@@ -50,10 +50,7 @@ impl ProcessCorner {
                 dose: 1.0 - dose_delta,
                 defocus: 0.0,
             },
-            ProcessCorner {
-                dose: 1.0,
-                defocus,
-            },
+            ProcessCorner { dose: 1.0, defocus },
         ]
     }
 }
@@ -172,8 +169,24 @@ mod tests {
     #[test]
     fn higher_dose_prints_more_area() {
         let (m1, m2, cfg) = masks();
-        let lo = print_at_corner(&m1, &m2, ProcessCorner { dose: 0.9, defocus: 0.0 }, &cfg);
-        let hi = print_at_corner(&m1, &m2, ProcessCorner { dose: 1.1, defocus: 0.0 }, &cfg);
+        let lo = print_at_corner(
+            &m1,
+            &m2,
+            ProcessCorner {
+                dose: 0.9,
+                defocus: 0.0,
+            },
+            &cfg,
+        );
+        let hi = print_at_corner(
+            &m1,
+            &m2,
+            ProcessCorner {
+                dose: 1.1,
+                defocus: 0.0,
+            },
+            &cfg,
+        );
         assert!(
             hi.count_above(0.5) > lo.count_above(0.5),
             "dose monotonicity violated: {} vs {}",
@@ -204,12 +217,7 @@ mod tests {
     #[test]
     fn pvband_nonzero_under_dose_swing() {
         let (m1, m2, cfg) = masks();
-        let report = process_window_report(
-            &m1,
-            &m2,
-            &ProcessCorner::standard_set(0.1, 0.15),
-            &cfg,
-        );
+        let report = process_window_report(&m1, &m2, &ProcessCorner::standard_set(0.1, 0.15), &cfg);
         assert!(report.pvband_px > 0);
         assert_eq!(report.printed_area_px.len(), 4);
     }
@@ -217,8 +225,12 @@ mod tests {
     #[test]
     fn zero_dose_swing_gives_zero_pvband() {
         let (m1, m2, cfg) = masks();
-        let report =
-            process_window_report(&m1, &m2, &[ProcessCorner::NOMINAL, ProcessCorner::NOMINAL], &cfg);
+        let report = process_window_report(
+            &m1,
+            &m2,
+            &[ProcessCorner::NOMINAL, ProcessCorner::NOMINAL],
+            &cfg,
+        );
         assert_eq!(report.pvband_px, 0);
     }
 

@@ -23,6 +23,18 @@ pub fn resist_threshold(intensity: &Grid, cfg: &LithoConfig) -> Grid {
     intensity.map(|i| sigmoid(theta * (i - ith)))
 }
 
+/// Buffer-reuse variant of [`resist_threshold`]: overwrites `out`.
+/// Allocation-free.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn resist_threshold_into(intensity: &Grid, cfg: &LithoConfig, out: &mut Grid) {
+    let theta = cfg.theta_z;
+    let ith = cfg.intensity_threshold;
+    out.map_from(intensity, |i| sigmoid(theta * (i - ith)));
+}
+
 /// Combines two printed images into the double-patterning result
 /// `T = min(T1 + T2, 1)` (paper Eq. 3).
 ///
@@ -41,13 +53,30 @@ pub fn combine_double_pattern(t1: &Grid, t2: &Grid) -> Grid {
 /// Panics if `prints` is empty or shapes differ.
 pub fn combine_prints(prints: &[Grid]) -> Grid {
     assert!(!prints.is_empty(), "need at least one printed image");
-    let mut acc = prints[0].clone();
+    let (w, h) = prints[0].shape();
+    let mut out = Grid::zeros(w, h);
+    combine_prints_into(prints, &mut out);
+    out
+}
+
+/// Buffer-reuse variant of [`combine_prints`]: overwrites `out`.
+/// Allocation-free.
+///
+/// # Panics
+///
+/// Panics if `prints` is empty or any shape differs (the images must share
+/// a shape, including `out`'s).
+pub fn combine_prints_into(prints: &[Grid], out: &mut Grid) {
+    assert!(!prints.is_empty(), "need at least one printed image");
+    out.copy_from(&prints[0]);
     for t in &prints[1..] {
-        acc = acc
-            .zip_map(t, |a, b| a + b)
-            .expect("printed images must share a shape");
+        assert_eq!(out.shape(), t.shape(), "printed images must share a shape");
+        let acc = out.as_mut_slice();
+        for (a, &b) in acc.iter_mut().zip(t.as_slice()) {
+            *a += b;
+        }
     }
-    acc.map(|v| v.min(1.0))
+    out.map_inplace(|v| v.min(1.0));
 }
 
 #[cfg(test)]

@@ -97,7 +97,9 @@ pub fn detect_violations(
         let cy = ((c.y / nm_per_px) as i32).clamp(0, h as i32 - 1) as usize;
         let lab = labels.label(cx, cy);
         if lab == 0 {
-            report.violations.push(ViolationKind::Missing { pattern: i });
+            report
+                .violations
+                .push(ViolationKind::Missing { pattern: i });
             continue;
         }
         match owner.get(&lab) {

@@ -93,7 +93,11 @@ impl ResNetRegressor {
             }
         }
         net.push(Box::new(GlobalAvgPool::new()));
-        net.push(Box::new(Linear::new(in_c, config.hidden_dim, seed ^ 0xF00D)));
+        net.push(Box::new(Linear::new(
+            in_c,
+            config.hidden_dim,
+            seed ^ 0xF00D,
+        )));
         net.push(Box::new(Relu::new()));
         net.push(Box::new(Linear::new(config.hidden_dim, 1, seed ^ 0xBEEF)));
         ResNetRegressor { config, net }

@@ -86,7 +86,10 @@ pub fn load_from<R: Read>(net: &mut dyn Layer, mut reader: R) -> Result<(), NnEr
     net.visit_buffers(&mut |_| expected += 1);
     if expected != arrays.len() {
         return Err(NnError::ShapeMismatch {
-            detail: format!("checkpoint has {} arrays, network has {expected}", arrays.len()),
+            detail: format!(
+                "checkpoint has {} arrays, network has {expected}",
+                arrays.len()
+            ),
         });
     }
     let mut iter = arrays.into_iter();

@@ -233,7 +233,11 @@ mod tests {
     fn he_init_statistics() {
         let t = Tensor::randn_he(vec![10_000], 50, 7);
         let mean = t.mean();
-        let var: f32 = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.len() as f32;
         let expected_var = 2.0 / 50.0;
         assert!(mean.abs() < 0.01, "mean {mean}");

@@ -43,7 +43,10 @@ impl Clustering {
 pub fn kmedoids(dist: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
     let n = dist.len();
     assert!(n > 0, "need at least one point");
-    assert!(dist.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(
+        dist.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
     assert!(k > 0, "need at least one cluster");
     let k = k.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -56,7 +59,7 @@ pub fn kmedoids(dist: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
         // medoid update: within each cluster pick the member minimizing the
         // intra-cluster distance sum
         let mut new_medoids = medoids.clone();
-        for c in 0..k {
+        for (c, medoid) in new_medoids.iter_mut().enumerate() {
             let members: Vec<usize> = assignment
                 .iter()
                 .enumerate()
@@ -65,7 +68,7 @@ pub fn kmedoids(dist: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
             if members.is_empty() {
                 continue;
             }
-            let best = members
+            *medoid = members
                 .iter()
                 .copied()
                 .min_by(|&a, &b| {
@@ -74,7 +77,6 @@ pub fn kmedoids(dist: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
                     sa.total_cmp(&sb)
                 })
                 .expect("non-empty members");
-            new_medoids[c] = best;
         }
         let new_assignment = assign(dist, &new_medoids);
         let new_sld = score(dist, &new_medoids, &new_assignment);

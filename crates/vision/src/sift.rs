@@ -233,7 +233,12 @@ fn describe(img: &Grid, x: usize, y: usize, sigma: f64, orientation: f64) -> [f3
 }
 
 fn normalize_descriptor(desc: &mut [f32; 128]) {
-    let norm = |d: &[f32; 128]| d.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+    let norm = |d: &[f32; 128]| {
+        d.iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt()
+    };
     let n = norm(desc);
     if n > 1e-12 {
         for v in desc.iter_mut() {

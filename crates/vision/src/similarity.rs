@@ -48,7 +48,7 @@ pub fn layout_distance(a: &[Feature], b: &[Feature], cfg: &SimilarityConfig) -> 
                 continue;
             }
             let d = fa.descriptor_dist(fb);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((j, d));
             }
         }
@@ -141,10 +141,10 @@ mod tests {
             feats(&[(20, 20), (50, 50)]),
         ];
         let m = distance_matrix(&sets, &SimilarityConfig::default());
-        for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
     }

@@ -33,7 +33,10 @@ fn main() {
     }
 
     let candidates = generate_candidates(&layout, &DecompConfig::default());
-    println!("\n{} decomposition candidates (MST + n-wise):", candidates.len());
+    println!(
+        "\n{} decomposition candidates (MST + n-wise):",
+        candidates.len()
+    );
     for c in &candidates {
         println!("  {c:?}");
     }
@@ -45,8 +48,14 @@ fn main() {
 
     println!("\nselected decomposition: {:?}", result.assignment);
     println!("attempts:               {}", result.attempts);
-    println!("EPE violations:         {}", result.outcome.epe_violations());
-    println!("print violations:       {}", result.outcome.violations.count());
+    println!(
+        "EPE violations:         {}",
+        result.outcome.epe_violations()
+    );
+    println!(
+        "print violations:       {}",
+        result.outcome.violations.count()
+    );
     println!("L2 error:               {:.1}", result.outcome.l2);
     println!(
         "time: {:.2}s selection + {:.2}s mask optimization",

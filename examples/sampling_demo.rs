@@ -19,7 +19,10 @@ fn main() {
     let aoi = cells::cell("AOI211_X1").expect("known cell");
     let img = aoi.rasterize_target(4.0);
     let feats = extract_features(&img, &SiftConfig::default());
-    println!("SIFT: {} keypoints on AOI211_X1 (112×112 image)", feats.len());
+    println!(
+        "SIFT: {} keypoints on AOI211_X1 (112×112 image)",
+        feats.len()
+    );
     for f in feats.iter().take(5) {
         println!(
             "  keypoint at ({:.0}, {:.0}) scale {:.1} orientation {:.2} rad",
@@ -49,7 +52,10 @@ fn main() {
     for (k, t) in [(4usize, 2usize), (7, 3)] {
         let rows = covering_array(k, t);
         assert!(is_covering(&rows, k, t));
-        println!("\n{t}-wise covering array over {k} binary factors ({} rows):", rows.len());
+        println!(
+            "\n{t}-wise covering array over {k} binary factors ({} rows):",
+            rows.len()
+        );
         for row in &rows {
             println!("  {row:?}");
         }

@@ -115,10 +115,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     {
         println!("  {i}: {r} {class:?}");
     }
-    println!(
-        "DPL-compatible: {}",
-        is_dpl_compatible(&layout, ccfg.nmin)
-    );
+    println!("DPL-compatible: {}", is_dpl_compatible(&layout, ccfg.nmin));
     let candidates = generate_candidates(&layout, &DecompConfig::default());
     println!("decomposition candidates: {}", candidates.len());
     Ok(())
@@ -150,7 +147,9 @@ fn parse_assignment(text: &str) -> Result<Vec<u8>, String> {
 
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
     let (pos, opts) = split_options(args);
-    let path = pos.first().ok_or("usage: ldmo optimize FILE --assignment 0,1,..")?;
+    let path = pos
+        .first()
+        .ok_or("usage: ldmo optimize FILE --assignment 0,1,..")?;
     let layout = load_layout(path)?;
     let assignment = parse_assignment(
         opts.get("assignment")
@@ -201,7 +200,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
 
 fn cmd_flow(args: &[String]) -> Result<(), String> {
     let (pos, opts) = split_options(args);
-    let path = pos.first().ok_or("usage: ldmo flow FILE [--predictor W.bin]")?;
+    let path = pos
+        .first()
+        .ok_or("usage: ldmo flow FILE [--predictor W.bin]")?;
     let layout = load_layout(path)?;
     let strategy = match opts.get("predictor") {
         Some(weights) => {
@@ -218,8 +219,14 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
     let joined: Vec<String> = result.assignment.iter().map(u8::to_string).collect();
     println!("selected decomposition: {}", joined.join(","));
     println!("attempts:               {}", result.attempts);
-    println!("EPE violations:         {}", result.outcome.epe_violations());
-    println!("print violations:       {}", result.outcome.violations.count());
+    println!(
+        "EPE violations:         {}",
+        result.outcome.epe_violations()
+    );
+    println!(
+        "print violations:       {}",
+        result.outcome.violations.count()
+    );
     println!(
         "time: {:.2}s selection + {:.2}s optimization",
         result.timing.decomposition_selection.as_secs_f64(),

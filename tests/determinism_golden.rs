@@ -1,0 +1,47 @@
+//! Determinism golden test for the ILT engine.
+//!
+//! Pins the outcome of the paper's Table-I testcase 1 (the first template
+//! cell, INV_X1) under the SUALD decomposition and the default engine
+//! config. The entire pipeline is deterministic — rasterization, kernel
+//! expansion, the workspace-backed gradient loop — so the EPE violation
+//! count is pinned exactly and the L2 error to four significant digits.
+//! A change here means the numerical behaviour of the engine changed, which
+//! must be deliberate (and re-pinned with justification).
+
+use ldmo_core::baselines::suald_decompose;
+use ldmo_ilt::{optimize, IltConfig};
+use ldmo_layout::cells;
+
+#[test]
+fn testcase_1_outcome_is_pinned() {
+    let (name, layout) = cells::all_cells()
+        .into_iter()
+        .next()
+        .expect("cell templates");
+    assert_eq!(name, "INV_X1", "testcase 1 is the first template cell");
+
+    let assignment = suald_decompose(&layout);
+    assert_eq!(assignment, vec![0, 1, 1], "SUALD decomposition of INV_X1");
+
+    let cfg = IltConfig::default();
+    let out = optimize(&layout, &assignment, &cfg);
+
+    assert_eq!(out.iterations_run, cfg.max_iterations);
+    assert_eq!(out.epe.violations(), 0, "INV_X1 converges violation-free");
+    // four significant digits of the final L2 error (binarized-mask print)
+    assert_eq!(
+        format!("{:.3e}", out.l2),
+        "8.970e2",
+        "final L2 drifted: got {:.10e}",
+        out.l2
+    );
+
+    // bit-level determinism: a second run reproduces the exact outcome
+    let again = optimize(&layout, &assignment, &cfg);
+    assert_eq!(out.l2.to_bits(), again.l2.to_bits());
+    assert_eq!(out.masks[0], again.masks[0]);
+    assert_eq!(out.masks[1], again.masks[1]);
+    let t1: Vec<f64> = out.trajectory.iter().map(|s| s.l2).collect();
+    let t2: Vec<f64> = again.trajectory.iter().map(|s| s.l2).collect();
+    assert_eq!(t1, t2);
+}

@@ -56,10 +56,7 @@ fn cnn_flow_uses_rejection_feedback() {
     // must recover through the Fig. 2 feedback loop and emit masks.
     let layout = cells::cell("NOR2_X1").expect("known cell");
     let predictor = PrintabilityPredictor::lite(11);
-    let mut flow = LdmoFlow::new(
-        fast_flow_cfg(),
-        SelectionStrategy::Cnn(Box::new(predictor)),
-    );
+    let mut flow = LdmoFlow::new(fast_flow_cfg(), SelectionStrategy::Cnn(Box::new(predictor)));
     let result = flow.run(&layout);
     assert_eq!(result.assignment.len(), layout.len());
     assert!(result.attempts >= 1);
@@ -70,8 +67,5 @@ fn flow_timing_sums_to_total() {
     let layout = cells::cell("BUF_X1").expect("known cell");
     let result = LdmoFlow::new(fast_flow_cfg(), SelectionStrategy::First).run(&layout);
     let t = result.timing;
-    assert_eq!(
-        t.total(),
-        t.decomposition_selection + t.mask_optimization
-    );
+    assert_eq!(t.total(), t.decomposition_selection + t.mask_optimization);
 }

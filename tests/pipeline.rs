@@ -73,8 +73,12 @@ fn drawn_masks_print_worse_than_optimized_masks() {
     let bank = KernelBank::paper_bank(&litho);
 
     // drawn masks: rasterize the assignment directly
-    let m1 = layout.rasterize_mask(&assignment, 0, litho.nm_per_px).expect("valid");
-    let m2 = layout.rasterize_mask(&assignment, 1, litho.nm_per_px).expect("valid");
+    let m1 = layout
+        .rasterize_mask(&assignment, 0, litho.nm_per_px)
+        .expect("valid");
+    let m2 = layout
+        .rasterize_mask(&assignment, 1, litho.nm_per_px)
+        .expect("valid");
     let drawn_print = simulate_print_pair(&m1, &m2, &bank, &litho);
     let drawn_epe = measure_epe(&drawn_print, layout.patterns(), &litho);
 

@@ -1,0 +1,279 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`bench_function`/`finish`,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It really measures: each benchmark is warmed up, then timed over a fixed
+//! number of samples with adaptive batching so short routines are measured
+//! in bulk. Results print as `group/name  time: [min median max]`, which is
+//! enough to compare two benchmarks in the same run (e.g. the allocating
+//! versus workspace ILT step).
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How per-iteration setup output is batched in
+/// [`Bencher::iter_batched`]. The stand-in times each routine call
+/// individually regardless of variant, so this only mirrors the upstream
+/// API shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values; upstream batches many per allocation.
+    SmallInput,
+    /// Large setup values; upstream batches one per allocation.
+    LargeInput,
+    /// Setup values comparable to the routine's own footprint.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    target_sample_time: Duration,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            warmup: Duration::from_millis(300),
+            target_sample_time: Duration::from_millis(5),
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine` alone, batching calls so each sample spans at least a
+    /// few milliseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget elapses, measuring the mean
+        // cost to pick a batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.target_sample_time.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            self.recorded.push(elapsed / batch as u32);
+        }
+    }
+
+    /// Times `routine` with a fresh `setup()` value per call; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            // One timed call per sample: setup cost stays outside the clock,
+            // matching upstream's semantics even if noisier for very short
+            // routines.
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.recorded.is_empty() {
+            println!("{id:<40} time: [no samples recorded]");
+            return;
+        }
+        let mut sorted = self.recorded.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let med = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(med),
+            fmt_duration(max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named set of related benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark; `f` drives the [`Bencher`] it receives.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&id);
+        let _ = &self.criterion; // group lifetime ties reports to the runner
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the stand-in prints
+    /// per-benchmark, so this is a no-op kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Benchmark runner; one per `criterion_group!` target function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.default_sample_size);
+        f(&mut bencher);
+        bencher.report(&id);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring upstream's macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut b = Bencher::new(5);
+        b.warmup = Duration::from_millis(5);
+        b.target_sample_time = Duration::from_micros(200);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(3));
+            acc
+        });
+        assert_eq!(b.recorded.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_records_samples() {
+        let mut b = Bencher::new(4);
+        b.warmup = Duration::from_millis(5);
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(b.recorded.len(), 4);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).bench_function("noop", |b| {
+            b.warmup = Duration::from_millis(2);
+            b.iter(|| black_box(1 + 1))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace annotates a few layout types with
+//! `#[derive(Serialize, Deserialize)]` as forward declarations for a future
+//! I/O layer, but never calls any serde runtime API. This crate keeps those
+//! annotations compiling without network access: [`Serialize`] and
+//! [`Deserialize`] are empty marker traits, and the `derive` feature
+//! re-exports no-op derives from the paired vendored `serde_derive`.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// No runtime behavior — the workspace has no serialization call sites yet.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+///
+/// No runtime behavior — the workspace has no deserialization call sites
+/// yet.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

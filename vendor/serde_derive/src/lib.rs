@@ -1,0 +1,66 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations for a future I/O layer — nothing serializes at runtime yet.
+//! These derives therefore expand to marker-trait impls via the paired
+//! vendored `serde` crate, keeping the annotated types compiling without
+//! pulling in the real (network-unavailable) serde stack.
+
+use proc_macro::TokenStream;
+
+/// Extracts the bare type identifier following `struct`/`enum`/`union`,
+/// skipping attributes, doc comments, and visibility qualifiers.
+fn type_ident(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tok) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tok {
+            let name = id.to_string();
+            if name == "struct" || name == "enum" || name == "union" {
+                if let Some(proc_macro::TokenTree::Ident(ty)) = tokens.next() {
+                    return Some(ty.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Generics are rare on the workspace's serialized types; emitting an impl
+/// for a generic type without its parameters would not compile, so such
+/// types get no impl (they still satisfy the derive attribute itself).
+fn has_generics(input: &TokenStream, ty: &str) -> bool {
+    let rendered = input.to_string();
+    rendered
+        .split(ty)
+        .nth(1)
+        .map(|rest| rest.trim_start().starts_with('<'))
+        .unwrap_or(false)
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    match type_ident(&input) {
+        Some(ty) if !has_generics(&input, &ty) => format!("impl {trait_path} for {ty} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        _ => TokenStream::new(),
+    }
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `Deserialize` derive: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_ident(&input) {
+        Some(ty) if !has_generics(&input, &ty) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {ty} {{}}")
+                .parse()
+                .unwrap_or_else(|_| TokenStream::new())
+        }
+        _ => TokenStream::new(),
+    }
+}
