@@ -50,6 +50,7 @@ fn run_suite(flow: &mut LdmoFlow, suite: &[(String, ldmo_layout::Layout)]) -> (u
 }
 
 fn main() {
+    let trace_out = ldmo_obs::trace_setup();
     let suite = suite();
     println!("ABLATIONS over {} evaluation layouts\n", suite.len());
 
@@ -131,4 +132,5 @@ fn main() {
         let (epe, _) = run_suite(&mut flow, &suite);
         println!("{label:>14} | {epe:>6}");
     }
+    ldmo_obs::trace_finish(trace_out.as_deref());
 }

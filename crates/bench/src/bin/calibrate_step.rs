@@ -19,6 +19,7 @@ fn quad(gap: i32) -> Layout {
 }
 
 fn main() {
+    let trace_out = ldmo_obs::trace_setup();
     let args: Vec<String> = std::env::args().collect();
     let sigma: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40.0);
     let ring: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.0);
@@ -29,9 +30,9 @@ fn main() {
     cfg.litho.sigma_secondary = sigma * 1.875;
     cfg.litho.ring_amplitude = ring;
     cfg.mrc_expand_nm = mrc;
-    println!("sigma={sigma} ring={ring} mrc={mrc}");
+    eprintln!("sigma={sigma} ring={ring} mrc={mrc}");
     let iso = Layout::new(Rect::new(0, 0, 448, 448), vec![Rect::square(192, 192, 64)]);
-    println!(
+    eprintln!(
         "  isolated: epe={}",
         optimize(&iso, &[0], &cfg).epe_violations()
     );
@@ -40,7 +41,7 @@ fn main() {
         let good = optimize(&l, &[0, 1, 1, 0], &cfg);
         let bad = optimize(&l, &[0, 0, 1, 1], &cfg); // rows same-mask (vertical pairs split)
         let worst = optimize(&l, &[0, 0, 0, 0], &cfg);
-        println!(
+        eprintln!(
             "  quad g={g}: checker={} rows={} all0={}",
             good.epe_violations(),
             bad.epe_violations(),
@@ -61,7 +62,7 @@ fn main() {
         let l = Layout::new(Rect::new(0, 0, 448, 448), pats);
         let aligned = optimize(&l, &[0, 1, 0, 0, 1, 0], &cfg);
         let anti = optimize(&l, &[0, 1, 0, 1, 0, 1], &cfg);
-        println!(
+        eprintln!(
             "  grid2x3 vg={vgap}: aligned={} anti={}",
             aligned.epe_violations(),
             anti.epe_violations()
@@ -80,7 +81,7 @@ fn main() {
         let same = optimize(&l, &[0u8; 9], &cfg);
         let checker: Vec<u8> = (0..9).map(|i| ((i / 3 + i % 3) % 2) as u8).collect();
         let chk = optimize(&l, &checker, &cfg);
-        println!(
+        eprintln!(
             "  grid3x3 g={g}: all_same={} checker={}",
             same.epe_violations(),
             chk.epe_violations()
@@ -95,6 +96,7 @@ fn main() {
             .iter()
             .map(|c| optimize(&l, c, &cfg).epe_violations())
             .collect();
-        println!("  {name}: candidate EPEs {epes:?}");
+        eprintln!("  {name}: candidate EPEs {epes:?}");
     }
+    ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -15,6 +15,7 @@ use ldmo_ilt::{optimize, IltConfig};
 use ldmo_layout::cells;
 
 fn main() {
+    let trace_out = ldmo_obs::trace_setup();
     let layout = cells::cell("AOI211_X1").expect("known cell");
     let candidates = generate_candidates(&layout, &DecompConfig::default());
     let take = candidates.len().min(3);
@@ -75,4 +76,5 @@ fn main() {
         "\nfinal EPE counts: {finals:?}; winner: {}; winner trailed mid-run: {trailed}",
         series[winner].0
     );
+    ldmo_obs::trace_finish(trace_out.as_deref());
 }

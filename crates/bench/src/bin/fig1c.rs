@@ -15,6 +15,7 @@ use ldmo_ilt::IltConfig;
 use std::time::Duration;
 
 fn main() {
+    let trace_out = ldmo_obs::trace_setup();
     let mut ilt = IltConfig::default();
     if fast_mode() {
         ilt.max_iterations = 8;
@@ -55,4 +56,5 @@ fn main() {
         );
     }
     println!("\n(paper: DS 59.1%, MO 40.9% — measured on layouts with many candidates)");
+    ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -17,6 +17,7 @@ use ldmo_ilt::IltConfig;
 use ldmo_layout::cells;
 
 fn main() {
+    let trace_out = ldmo_obs::trace_setup();
     let mut ilt = IltConfig::default();
     if fast_mode() {
         ilt.max_iterations = 8;
@@ -73,5 +74,6 @@ fn main() {
             target.to_pgm(),
         );
     }
-    println!("\nprinted-image PGMs written to bench_out/");
+    eprintln!("\nprinted-image PGMs written to bench_out/");
+    ldmo_obs::trace_finish(trace_out.as_deref());
 }

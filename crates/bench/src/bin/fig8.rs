@@ -30,6 +30,7 @@ fn suite() -> Vec<(String, Layout)> {
 }
 
 fn main() {
+    let trace_out = ldmo_obs::trace_setup();
     let mut ilt = IltConfig::default();
     if fast_mode() {
         ilt.max_iterations = 8;
@@ -87,4 +88,5 @@ fn main() {
         );
     }
     println!("\n(paper: random sampling ≈ 2× the EPE count at ≈ equal runtime)");
+    ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -11,6 +11,9 @@
 //! cargo run --release -p ldmo-bench --bin table1          # full run
 //! LDMO_FAST=1 cargo run --release -p ldmo-bench --bin table1   # smoke run
 //! ```
+//!
+//! Pass `--trace-out trace.jsonl` (or set `LDMO_TRACE=1`) to capture an
+//! `ldmo-obs` trace of every flow stage and ILT iteration.
 
 use ldmo_bench::{fast_mode, testcases, trained_predictor};
 use ldmo_core::baselines::{two_stage_bfs, two_stage_suald, unified_flow, UnifiedConfig};
@@ -26,6 +29,7 @@ struct Row {
 }
 
 fn main() {
+    let trace_out = ldmo_obs::trace_setup();
     let fast = fast_mode();
     let mut ilt = IltConfig::default();
     if fast {
@@ -126,4 +130,5 @@ fn main() {
         1.0,
         1.0,
     );
+    ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -83,6 +83,18 @@ pub struct FlowTiming {
 }
 
 impl FlowTiming {
+    /// Splits a measured flow total into the two buckets: everything that
+    /// is not the successful mask optimization is decomposition selection
+    /// (candidate generation, scoring, aborted ILT attempts). Built this
+    /// way the buckets sum exactly to the measured total — no stage can
+    /// silently fall outside both (see `timing_accounts_for_total_span`).
+    pub fn from_total(total: Duration, mask_optimization: Duration) -> Self {
+        FlowTiming {
+            decomposition_selection: total.saturating_sub(mask_optimization),
+            mask_optimization,
+        }
+    }
+
     /// Total wall-clock time.
     pub fn total(&self) -> Duration {
         self.decomposition_selection + self.mask_optimization
@@ -133,19 +145,37 @@ impl LdmoFlow {
 
     /// Runs the full flow on one layout.
     ///
+    /// Every stage is wrapped in an `ldmo-obs` span (`flow.run` at the
+    /// root; see DESIGN.md §8 for the span inventory); the spans also feed
+    /// the legacy [`FlowTiming`] breakdown, with
+    /// `decomposition_selection = total − mask_optimization` so the two
+    /// buckets account for the whole run by construction.
+    ///
     /// # Panics
     ///
     /// Panics if candidate generation yields nothing (cannot happen for
     /// non-empty layouts).
     pub fn run(&mut self, layout: &Layout) -> FlowResult {
-        let ds_start = Instant::now();
+        let run_start = Instant::now();
+        let mut root = ldmo_obs::span("flow.run");
+        root.set("patterns", layout.len() as f64);
         // one kernel-bank expansion serves the proxy ranking, every abort
         // attempt and the final optimization
-        let ctx = IltContext::new(&self.cfg.ilt);
-        let candidates = generate_candidates(layout, &self.cfg.decomp);
+        let ctx = {
+            let _s = ldmo_obs::span("flow.kernel_expand");
+            IltContext::new(&self.cfg.ilt)
+        };
+        let candidates = {
+            let mut s = ldmo_obs::span("flow.candidate_gen");
+            let candidates = generate_candidates(layout, &self.cfg.decomp);
+            s.set("candidates", candidates.len() as f64);
+            candidates
+        };
         assert!(!candidates.is_empty(), "no decomposition candidates");
-        let order = self.rank_candidates(layout, &candidates, &ctx);
-        let mut ds_time = ds_start.elapsed();
+        let order = {
+            let _s = ldmo_obs::span("flow.rank");
+            self.rank_candidates(layout, &candidates, &ctx)
+        };
 
         if let SelectionStrategy::Cnn(p) = &mut self.strategy {
             p.clear_rejections();
@@ -163,23 +193,29 @@ impl LdmoFlow {
                 continue;
             }
             attempts += 1;
-            let mo_start = Instant::now();
+            let mut s = ldmo_obs::span("flow.ilt_attempt");
+            s.set("attempt", attempts as f64);
+            s.set("candidate", ci as f64);
             let outcome = abort_ctx.optimize(layout, cand);
-            let elapsed = mo_start.elapsed();
-            if outcome.aborted_at.is_none() {
+            let aborted = outcome.aborted_at.is_some();
+            s.set("aborted", if aborted { 1.0 } else { 0.0 });
+            let attempt_time = s.elapsed();
+            drop(s);
+            if !aborted {
+                root.set("attempts", attempts as f64);
                 return FlowResult {
                     assignment: cand.clone(),
                     outcome,
                     attempts,
                     candidates: candidates.len(),
-                    timing: FlowTiming {
-                        decomposition_selection: ds_time,
-                        mask_optimization: elapsed,
-                    },
+                    timing: FlowTiming::from_total(run_start.elapsed(), attempt_time),
                 };
             }
-            // the aborted attempt is selection overhead, not optimization
-            ds_time += elapsed;
+            // the aborted attempt is selection overhead, not optimization —
+            // it counts into decomposition_selection via the total
+            if ldmo_obs::enabled() {
+                ldmo_obs::counter("flow.rejections").incr();
+            }
             rejected.insert(cand.clone());
             if let SelectionStrategy::Cnn(p) = &mut self.strategy {
                 p.reject(cand);
@@ -187,17 +223,17 @@ impl LdmoFlow {
         }
         // every attempt aborted: complete the best-ranked candidate fully
         let fallback = &candidates[order[0]];
-        let mo_start = Instant::now();
+        let s = ldmo_obs::span("flow.ilt_final");
         let outcome = ctx.optimize(layout, fallback);
+        let mo_time = s.elapsed();
+        drop(s);
+        root.set("attempts", (attempts + 1) as f64);
         FlowResult {
             assignment: fallback.clone(),
             outcome,
             attempts: attempts + 1,
             candidates: candidates.len(),
-            timing: FlowTiming {
-                decomposition_selection: ds_time,
-                mask_optimization: mo_start.elapsed(),
-            },
+            timing: FlowTiming::from_total(run_start.elapsed(), mo_time),
         }
     }
 
@@ -323,5 +359,28 @@ mod tests {
         let t = result.timing;
         assert!(t.total() >= t.mask_optimization);
         assert!((0.0..=1.0).contains(&t.ds_fraction()));
+    }
+
+    #[test]
+    fn timing_accounts_for_total_span() {
+        // accounting-drift regression: decomposition_selection +
+        // mask_optimization must equal the whole flow.run span (± slack),
+        // so no stage can silently fall outside both buckets (kernel
+        // expansion and abort bookkeeping used to)
+        let layout = quad_layout(60);
+        let mut flow = LdmoFlow::new(fast_cfg(), SelectionStrategy::LithoProxy);
+        let wall = Instant::now();
+        let result = flow.run(&layout);
+        let measured = wall.elapsed();
+        let bucketed = result.timing.total();
+        assert!(
+            bucketed <= measured,
+            "buckets exceed the measured span: {bucketed:?} > {measured:?}"
+        );
+        assert!(
+            measured - bucketed < Duration::from_millis(50),
+            "{:?} of the flow span fell outside both timing buckets",
+            measured - bucketed
+        );
     }
 }

@@ -9,6 +9,7 @@ use ldmo_nn::optim::{clip_grad_norm, Adam, LrSchedule};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::{Duration, Instant};
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,16 +45,67 @@ impl Default for TrainConfig {
 }
 
 /// Per-epoch loss history.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct TrainHistory {
     /// Mean training MAE of each epoch.
     pub epoch_mae: Vec<f32>,
+    /// Wall-clock time of each epoch (same length as `epoch_mae`).
+    pub epoch_wall: Vec<Duration>,
 }
 
 impl TrainHistory {
     /// Final epoch's MAE (`None` before training).
     pub fn final_mae(&self) -> Option<f32> {
         self.epoch_mae.last().copied()
+    }
+
+    /// Total wall-clock time across all epochs.
+    pub fn total_wall(&self) -> Duration {
+        self.epoch_wall.iter().sum()
+    }
+
+    /// Exports the history as JSONL: one
+    /// `{"epoch":N,"mae":M,"wall_us":W}` object per epoch (the vendored
+    /// serde is a derive-only stand-in, so the writer is hand-rolled to
+    /// the same shape the `ldmo-obs` sinks use).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (epoch, &mae) in self.epoch_mae.iter().enumerate() {
+            let wall_us = self
+                .epoch_wall
+                .get(epoch)
+                .map_or(0, |w| w.as_micros() as u64);
+            out.push_str(&format!(
+                "{{\"epoch\":{epoch},\"mae\":{},\"wall_us\":{wall_us}}}\n",
+                ldmo_obs::json::number(f64::from(mae))
+            ));
+        }
+        out
+    }
+
+    /// Parses a history back from the [`TrainHistory::to_jsonl`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line when a line is not a
+    /// JSON object or lacks a numeric `mae`/`wall_us`.
+    pub fn from_jsonl(text: &str) -> Result<TrainHistory, String> {
+        let mut history = TrainHistory::default();
+        for value in ldmo_obs::json::parse_jsonl(text)? {
+            let mae = value
+                .get("mae")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("epoch line without numeric mae: {value:?}"))?;
+            let wall_us = value
+                .get("wall_us")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("epoch line without numeric wall_us: {value:?}"))?;
+            history.epoch_mae.push(mae as f32);
+            history
+                .epoch_wall
+                .push(Duration::from_micros(wall_us as u64));
+        }
+        Ok(history)
     }
 }
 
@@ -78,7 +130,12 @@ pub fn train(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     let mut history = TrainHistory::default();
+    let mut run_span = ldmo_obs::span("train.run");
+    run_span.set("epochs", cfg.epochs as f64);
+    run_span.set("examples", dataset.len() as f64);
     for epoch in 0..cfg.epochs {
+        let mut span = ldmo_obs::span("train.epoch");
+        let epoch_start = Instant::now();
         adam.lr = schedule.lr_at(epoch);
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -98,7 +155,16 @@ pub fn train(
             epoch_loss += f64::from(loss);
             batches += 1;
         }
-        history.epoch_mae.push((epoch_loss / batches as f64) as f32);
+        let mae = (epoch_loss / batches as f64) as f32;
+        history.epoch_mae.push(mae);
+        history.epoch_wall.push(epoch_start.elapsed());
+        span.set("epoch", epoch as f64);
+        span.set("mae", f64::from(mae));
+        span.set("lr", f64::from(adam.lr));
+        span.set("batches", batches as f64);
+    }
+    if let Some(mae) = history.final_mae() {
+        run_span.set("final_mae", f64::from(mae));
     }
     history
 }
@@ -198,6 +264,29 @@ mod tests {
         let mut p2 = PrintabilityPredictor::lite(9);
         let h1 = train(&mut p1, &ds, &cfg);
         let h2 = train(&mut p2, &ds, &cfg);
-        assert_eq!(h1, h2);
+        // Wall times differ between runs; the losses must not.
+        assert_eq!(h1.epoch_mae, h2.epoch_mae);
+    }
+
+    #[test]
+    fn history_jsonl_roundtrip() {
+        let history = TrainHistory {
+            epoch_mae: vec![0.5, 0.25, 0.125],
+            epoch_wall: vec![
+                Duration::from_micros(1500),
+                Duration::from_micros(900),
+                Duration::from_micros(850),
+            ],
+        };
+        let text = history.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let back = TrainHistory::from_jsonl(&text).expect("parse");
+        assert_eq!(back, history);
+        // An empty history roundtrips to an empty string.
+        assert_eq!(
+            TrainHistory::from_jsonl("").expect("empty"),
+            TrainHistory::default()
+        );
+        assert!(TrainHistory::from_jsonl("{\"epoch\":0}").is_err());
     }
 }

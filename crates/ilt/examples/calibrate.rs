@@ -7,7 +7,7 @@ use ldmo_layout::Layout;
 fn run(name: &str, layout: &Layout, a: &[u8], b: &[u8], cfg: &IltConfig) {
     let bad = optimize(layout, a, cfg);
     let good = optimize(layout, b, cfg);
-    println!(
+    eprintln!(
         "{name:>14} | bad: epe={:>3} viol={} | good: epe={:>3} viol={}",
         bad.epe_violations(),
         bad.violations.count(),
@@ -26,13 +26,13 @@ fn main() {
     cfg.litho.sigma_primary = sigma_p;
     cfg.litho.sigma_secondary = sigma_s;
     cfg.mrc_expand_nm = mrc;
-    println!("== sigma=({sigma_p},{sigma_s}) mrc={mrc} size={size}");
+    eprintln!("== sigma=({sigma_p},{sigma_s}) mrc={mrc} size={size}");
 
     let win = Rect::new(0, 0, 448, 448);
     // isolated contact
     let iso = Layout::new(win, vec![Rect::square(192, 192, size)]);
     let out = optimize(&iso, &[0], &cfg);
-    println!(
+    eprintln!(
         "      isolated | epe={} viol={}",
         out.epe_violations(),
         out.violations.count()
@@ -116,7 +116,7 @@ fn main() {
             ],
         );
         let out = optimize(&quad, &[0, 0, 0, 0], &acfg);
-        println!(
+        eprintln!(
             "abort quad g={g}: aborted_at={:?} viol={} epe={}",
             out.aborted_at,
             out.violations.count(),
@@ -124,7 +124,7 @@ fn main() {
         );
     }
     let out9 = optimize(&grid9, &all0, &acfg);
-    println!(
+    eprintln!(
         "abort grid9 g=68: aborted_at={:?} viol={} epe={}",
         out9.aborted_at,
         out9.violations.count(),

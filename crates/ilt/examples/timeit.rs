@@ -17,7 +17,7 @@ fn main() {
     let cfg = IltConfig::default();
     let t = Instant::now();
     let out = optimize(&layout, &[0, 1, 1, 0], &cfg);
-    println!(
+    eprintln!(
         "one ILT run (29 iters): {:.3}s, epe={} ",
         t.elapsed().as_secs_f64(),
         out.epe_violations()

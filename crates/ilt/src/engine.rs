@@ -192,7 +192,10 @@ impl IltContext {
     /// Forward-only evaluation of a decomposition (see
     /// [`evaluate_unoptimized`]).
     pub fn evaluate_unoptimized(&self, layout: &Layout, assignment: &[u8]) -> IltOutcome {
-        self.session(layout, assignment).into_outcome()
+        let mut span = ldmo_obs::span("ilt.evaluate");
+        let outcome = self.session(layout, assignment).into_outcome();
+        span.set("epe", outcome.epe_violations() as f64);
+        outcome
     }
 }
 
@@ -231,6 +234,9 @@ impl IltSession {
     }
 
     fn from_parts(layout: &Layout, assignment: &[u8], cfg: &IltConfig, bank: KernelBank) -> Self {
+        if ldmo_obs::enabled() {
+            ldmo_obs::counter("ilt.sessions").incr();
+        }
         assert_eq!(
             assignment.len(),
             layout.len(),
@@ -295,9 +301,13 @@ impl IltSession {
 
     /// Runs one gradient iteration; returns the pre-update L2 error.
     ///
-    /// Allocation-free: the forward pass, gradients and scratch all live in
-    /// buffers owned by the session.
+    /// Allocation-free — even with the `ldmo-obs` collector enabled: the
+    /// forward pass, gradients and scratch live in buffers owned by the
+    /// session, and the per-iteration convergence record (L2, step norm)
+    /// lands in the collector's preallocated buffer. With the collector
+    /// disabled the telemetry cost is one relaxed atomic load.
     pub fn step_one(&mut self) -> f64 {
+        let step_start = ldmo_obs::enabled().then(std::time::Instant::now);
         forward_multi_into(
             &self.p,
             &self.target,
@@ -316,12 +326,25 @@ impl IltSession {
             &mut self.ws,
             &mut self.grads,
         );
+        let step_norm = match step_start {
+            Some(_) => update_norm(&self.grads, self.cfg.step_size),
+            None => f64::NAN,
+        };
         descend(&mut self.p[0], &self.grads[0], self.cfg.step_size);
         descend(&mut self.p[1], &self.grads[1], self.cfg.step_size);
         clamp_to_corridor(&mut self.p[0], &self.corridors[0]);
         clamp_to_corridor(&mut self.p[1], &self.corridors[1]);
         self.iterations_done += 1;
         self.last_l2 = self.fwd.l2;
+        if let Some(start) = step_start {
+            ldmo_obs::convergence(
+                (self.iterations_done - 1) as u32,
+                self.fwd.l2,
+                step_norm,
+                -1,
+            );
+            step_histogram().record_duration(start.elapsed());
+        }
         self.fwd.l2
     }
 
@@ -398,6 +421,7 @@ pub fn optimize(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> IltOutco
 /// Drives a prepared session through the full optimization loop with
 /// violation checks, as configured by the session's [`IltConfig`].
 fn run_session(mut session: IltSession) -> IltOutcome {
+    let mut span = ldmo_obs::span("ilt.run");
     let cfg = session.cfg.clone();
     let mut trajectory = Vec::with_capacity(cfg.max_iterations);
     let mut aborted_at = None;
@@ -407,6 +431,11 @@ fn run_session(mut session: IltSession) -> IltOutcome {
         let epe_violations = cfg
             .record_epe_trajectory
             .then(|| session.current_epe().violations());
+        // step_one already recorded (iter, l2, step_norm); when an EPE count
+        // exists for this iteration, a second row carries it (epe >= 0)
+        if let Some(v) = epe_violations.filter(|_| ldmo_obs::enabled()) {
+            ldmo_obs::convergence(iter as u32, l2, f64::NAN, v as i64);
+        }
         trajectory.push(IterationStats {
             iteration: iter,
             l2,
@@ -417,6 +446,9 @@ fn run_session(mut session: IltSession) -> IltOutcome {
             && iter + 1 >= cfg.abort_warmup
             && (iter + 1) % cfg.check_interval.max(1) == 0
         {
+            if ldmo_obs::enabled() {
+                ldmo_obs::counter("ilt.violation_checks").incr();
+            }
             let printed = session.current_print();
             let report = detect_violations(
                 &printed,
@@ -430,13 +462,59 @@ fn run_session(mut session: IltSession) -> IltOutcome {
             let v = epe.violations();
             let stagnant = v > 0 && last_check_epe.is_some_and(|prev| v >= prev);
             last_check_epe = Some(v);
+            if ldmo_obs::enabled() && epe_violations.is_none() {
+                ldmo_obs::convergence(iter as u32, l2, f64::NAN, v as i64);
+            }
             if report.count() > 0 || saturated || stagnant {
+                if ldmo_obs::enabled() {
+                    ldmo_obs::counter("ilt.aborts").incr();
+                }
                 aborted_at = Some(iter);
                 break;
             }
         }
     }
-    session.snapshot(trajectory, aborted_at)
+    let outcome = session.snapshot(trajectory, aborted_at);
+    span.set("iterations", outcome.iterations_run as f64);
+    span.set(
+        "aborted",
+        if outcome.aborted_at.is_some() {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    span.set("l2", outcome.l2);
+    span.set("epe", outcome.epe_violations() as f64);
+    outcome
+}
+
+/// Telemetry: wall-time histogram of [`IltSession::step_one`], µs.
+fn step_histogram() -> ldmo_obs::Histogram {
+    static HIST: std::sync::OnceLock<ldmo_obs::Histogram> = std::sync::OnceLock::new();
+    *HIST.get_or_init(|| ldmo_obs::histogram("ilt.step_us"))
+}
+
+/// L2 norm of the update [`descend`] is about to apply: each mask's
+/// gradient is scaled by `step / max|g|`, so the applied step has norm
+/// `step · ‖g‖₂ / max|g|` per mask, combined in quadrature. Only computed
+/// when the collector is enabled — it costs one extra pass over the
+/// gradients.
+fn update_norm(grads: &[Grid; 2], step: f32) -> f64 {
+    let mut total = 0.0f64;
+    for g in grads {
+        let mut max_abs = 0.0f32;
+        let mut sum_sq = 0.0f64;
+        for &v in g.as_slice() {
+            max_abs = max_abs.max(v.abs());
+            sum_sq += f64::from(v) * f64::from(v);
+        }
+        if max_abs > f32::EPSILON {
+            let scale = f64::from(step) / f64::from(max_abs);
+            total += scale * scale * sum_sq;
+        }
+    }
+    total.sqrt()
 }
 
 fn descend(p: &mut Grid, g: &Grid, step: f32) {

@@ -50,8 +50,14 @@ fn step_one_is_allocation_free_after_warmup() {
             Rect::square(248, 248, 64),
         ],
     );
+    // The trace collector must also be allocation-free on the hot path:
+    // records go into a preallocated buffer, metric handles are leaked
+    // statics. Enabling it here makes the guard cover the instrumented
+    // path, not just the disabled fast path.
+    ldmo_obs::enable();
     let mut session = IltSession::new(&layout, &[0, 1, 1, 0], &IltConfig::default());
     // warmup: the first iterations populate anything touched lazily
+    // (including lazy metric registration in ldmo-obs)
     session.step_one();
     session.step_one();
 

@@ -68,8 +68,19 @@ pub fn convolve_separable(input: &Grid, profile: &[f32]) -> Grid {
 /// Panics if `profile.len()` is even or either buffer's shape differs from
 /// `input`'s.
 pub fn convolve_separable_into(input: &Grid, profile: &[f32], tmp: &mut Grid, out: &mut Grid) {
+    if ldmo_obs::enabled() {
+        conv_pass_counter().incr();
+    }
     convolve_rows_into(input, profile, tmp);
     convolve_cols_into(tmp, profile, out);
+}
+
+/// Telemetry: one count per separable convolution pass (row + column
+/// sweep). Registered once; recording is a single relaxed atomic add, so
+/// the zero-allocation hot path (DESIGN.md §6) stays allocation-free.
+fn conv_pass_counter() -> ldmo_obs::Counter {
+    static COUNTER: std::sync::OnceLock<ldmo_obs::Counter> = std::sync::OnceLock::new();
+    *COUNTER.get_or_init(|| ldmo_obs::counter("litho.conv_passes"))
 }
 
 /// Correlation with a separable symmetric kernel. For the symmetric Gaussian

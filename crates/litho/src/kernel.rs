@@ -36,9 +36,20 @@ struct Component {
     profile: Vec<f32>, // odd-length, unit-sum
 }
 
+/// Telemetry: one count per sampled 1-D kernel profile. Expansion is a
+/// setup-time cost the flow is supposed to amortize via `IltContext`; this
+/// counter makes accidental re-expansion in a loop visible in traces.
+fn kernel_expansion_counter() -> ldmo_obs::Counter {
+    static COUNTER: std::sync::OnceLock<ldmo_obs::Counter> = std::sync::OnceLock::new();
+    *COUNTER.get_or_init(|| ldmo_obs::counter("litho.kernel_expansions"))
+}
+
 impl Component {
     fn new(sigma: f64, amplitude: f64) -> Self {
         assert!(sigma > 0.0, "sigma must be positive");
+        if ldmo_obs::enabled() {
+            kernel_expansion_counter().incr();
+        }
         let radius = (3.0 * sigma).ceil() as i64;
         let mut profile: Vec<f32> = (-radius..=radius)
             .map(|i| (-((i * i) as f64) / (2.0 * sigma * sigma)).exp() as f32)

@@ -1,0 +1,283 @@
+//! The global collector: span events, the per-thread span stack, and the
+//! fixed-capacity convergence-record buffer.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum numeric metadata fields per span; further [`Span::set`] calls
+/// are dropped silently.
+pub const MAX_SPAN_META: usize = 6;
+
+/// Maximum span nesting depth tracked for parent attribution; deeper spans
+/// still record but their children attach to the deepest tracked ancestor.
+const MAX_SPAN_DEPTH: usize = 32;
+
+/// Default capacity of the convergence-record buffer (override with
+/// `LDMO_TRACE_RECORDS`). Sized for a full Table-I run with headroom:
+/// 13 testcases × ~10 ILT runs × 29 iterations ≈ 4k records.
+const DEFAULT_RECORD_CAPACITY: usize = 1 << 17;
+
+/// A completed span, pushed to the collector when the [`Span`] guard drops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Unique id (1-based; 0 means "no span").
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, 0 at the root.
+    pub parent: u64,
+    /// Static span name (DESIGN.md §8 naming: `layer.operation`).
+    pub name: &'static str,
+    /// Start offset from the collector epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Numeric metadata recorded via [`Span::set`].
+    pub meta: [Option<(&'static str, f64)>; MAX_SPAN_META],
+}
+
+/// One per-iteration ILT convergence row (the Fig. 8 trace substrate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceRecord {
+    /// Innermost enclosing span at record time (0 = none).
+    pub span: u64,
+    /// Offset from the collector epoch, microseconds.
+    pub t_us: u64,
+    /// 0-based ILT iteration index.
+    pub iteration: u32,
+    /// L2 error at the start of the iteration.
+    pub l2: f64,
+    /// L2 norm of the applied parameter update (`NaN` = not measured).
+    pub step_norm: f64,
+    /// EPE violation count (`-1` = not measured this iteration).
+    pub epe_violations: i64,
+}
+
+pub(crate) struct Collector {
+    epoch: Instant,
+    next_span_id: AtomicU64,
+    events: Mutex<Vec<SpanEvent>>,
+    /// Preallocated at [`crate::enable`]; pushes beyond capacity are
+    /// dropped and counted so recording never reallocates.
+    records: Mutex<Vec<ConvergenceRecord>>,
+    dropped_records: AtomicU64,
+}
+
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+pub(crate) fn collector() -> &'static Collector {
+    COLLECTOR.get_or_init(|| {
+        let cap = std::env::var("LDMO_TRACE_RECORDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_RECORD_CAPACITY)
+            .max(1);
+        Collector {
+            epoch: Instant::now(),
+            next_span_id: AtomicU64::new(0),
+            events: Mutex::new(Vec::with_capacity(4096)),
+            records: Mutex::new(Vec::with_capacity(cap)),
+            dropped_records: AtomicU64::new(0),
+        }
+    })
+}
+
+pub(crate) fn reset() {
+    let c = collector();
+    c.events.lock().expect("events lock").clear();
+    c.records.lock().expect("records lock").clear();
+    c.dropped_records.store(0, Ordering::SeqCst);
+    c.next_span_id.store(0, Ordering::SeqCst);
+}
+
+impl Collector {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+struct SpanStack {
+    ids: [u64; MAX_SPAN_DEPTH],
+    depth: usize,
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<SpanStack> = const {
+        RefCell::new(SpanStack { ids: [0; MAX_SPAN_DEPTH], depth: 0 })
+    };
+}
+
+fn current_span() -> u64 {
+    SPAN_STACK.with(|s| {
+        let s = s.borrow();
+        if s.depth == 0 {
+            0
+        } else {
+            s.ids[(s.depth - 1).min(MAX_SPAN_DEPTH - 1)]
+        }
+    })
+}
+
+/// An RAII span guard. The span is recorded when the guard drops; when the
+/// collector is disabled the guard still measures wall time (so callers can
+/// keep populating legacy timing structs) but records nothing.
+#[must_use = "a span measures the region until the guard drops"]
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    meta: [Option<(&'static str, f64)>; MAX_SPAN_META],
+    active: bool,
+}
+
+/// Opens a span named `name` under the current thread's innermost span.
+///
+/// Names must be `'static` (recording never allocates for them) and follow
+/// the `layer.operation` convention of DESIGN.md §8.
+pub fn span(name: &'static str) -> Span {
+    let start = Instant::now();
+    if !crate::enabled() {
+        return Span {
+            id: 0,
+            parent: 0,
+            name,
+            start,
+            start_us: 0,
+            meta: [None; MAX_SPAN_META],
+            active: false,
+        };
+    }
+    let c = collector();
+    let id = c.next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let parent = current_span();
+    SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.depth < MAX_SPAN_DEPTH {
+            let d = s.depth;
+            s.ids[d] = id;
+        }
+        s.depth += 1;
+    });
+    Span {
+        id,
+        parent,
+        name,
+        start,
+        start_us: c.now_us(),
+        meta: [None; MAX_SPAN_META],
+        active: true,
+    }
+}
+
+impl Span {
+    /// The span id (0 when the collector was disabled at creation).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Wall time since the span opened; valid whether or not the collector
+    /// is enabled.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Attaches a numeric metadata field, overwriting an existing field
+    /// with the same key. At most [`MAX_SPAN_META`] distinct keys are kept;
+    /// further keys are dropped.
+    pub fn set(&mut self, key: &'static str, value: f64) {
+        if !self.active {
+            return;
+        }
+        for slot in &mut self.meta {
+            match slot {
+                Some((k, v)) if *k == key => {
+                    *v = value;
+                    return;
+                }
+                None => {
+                    *slot = Some((key, value));
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.depth > 0 {
+                s.depth -= 1;
+            }
+        });
+        let c = collector();
+        let dur_us = self.start.elapsed().as_micros() as u64;
+        let event = SpanEvent {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start_us: self.start_us,
+            dur_us,
+            meta: self.meta,
+        };
+        c.events.lock().expect("events lock").push(event);
+    }
+}
+
+/// Records one ILT convergence row under the current span.
+///
+/// Allocation-free once the collector is enabled: the row is copied into a
+/// buffer preallocated by [`crate::enable`]; at capacity the row is dropped
+/// and counted in [`dropped_records`]. A no-op (one relaxed load) when the
+/// collector is disabled.
+///
+/// `step_norm = NaN` and `epe_violations = -1` mean "not measured".
+#[inline]
+pub fn convergence(iteration: u32, l2: f64, step_norm: f64, epe_violations: i64) {
+    if !crate::enabled() {
+        return;
+    }
+    let c = collector();
+    let record = ConvergenceRecord {
+        span: current_span(),
+        t_us: c.now_us(),
+        iteration,
+        l2,
+        step_norm,
+        epe_violations,
+    };
+    let mut records = c.records.lock().expect("records lock");
+    if records.len() < records.capacity() {
+        records.push(record);
+    } else {
+        c.dropped_records.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Convergence rows dropped because the preallocated buffer was full.
+pub fn dropped_records() -> u64 {
+    collector().dropped_records.load(Ordering::SeqCst)
+}
+
+/// Capacity of the convergence-record buffer.
+pub fn convergence_capacity() -> usize {
+    collector().records.lock().expect("records lock").capacity()
+}
+
+/// A copy of all completed span events (test/sink access).
+pub fn events_snapshot() -> Vec<SpanEvent> {
+    collector().events.lock().expect("events lock").clone()
+}
+
+/// A copy of all convergence records (test/sink access).
+pub fn records_snapshot() -> Vec<ConvergenceRecord> {
+    collector().records.lock().expect("records lock").clone()
+}

@@ -1,0 +1,130 @@
+#![warn(missing_docs)]
+//! # ldmo-obs — the observability layer
+//!
+//! A minimal `tracing`-style telemetry substrate for the LDMO workspace,
+//! implemented from scratch (the build environment has no crates.io
+//! access). Three instrument families feed one global collector:
+//!
+//! - **Spans** ([`span`]): hierarchical wall-clock regions with monotonic
+//!   timing and up to [`MAX_SPAN_META`] numeric metadata fields. Parent
+//!   links come from a per-thread span stack.
+//! - **Metrics** ([`counter`], [`gauge`], [`histogram`]): named atomics
+//!   registered once and recorded allocation-free — safe inside the
+//!   zero-allocation ILT hot path (DESIGN.md §6).
+//! - **Convergence records** ([`convergence`]): fixed-capacity,
+//!   per-iteration ILT trace rows (L2, step norm, EPE count) pushed into a
+//!   preallocated buffer; overflow drops rows and counts them instead of
+//!   allocating.
+//!
+//! When the collector is disabled (the default) every recording call is a
+//! single relaxed atomic load plus a branch, so instrumented hot paths stay
+//! measurably free. Enable with [`enable`], `LDMO_TRACE=1`, or
+//! [`trace_setup`] (which also understands the `--trace-out PATH` CLI
+//! convention used by the bench bins and the `ldmo` CLI).
+//!
+//! Two sinks drain the collector: a machine-readable JSONL event stream
+//! ([`flush_jsonl`], one JSON object per line) and a human-readable
+//! end-of-run summary tree ([`summary`]). [`json`] carries a dependency-free
+//! JSON parser so traces can be validated and round-tripped in tests
+//! without external crates.
+//!
+//! Span naming, counter-vs-histogram guidance and the hot-path allocation
+//! rules are documented in DESIGN.md §8.
+
+mod collector;
+pub mod json;
+mod metrics;
+mod sink;
+
+pub use collector::{
+    convergence, convergence_capacity, dropped_records, events_snapshot, records_snapshot, span,
+    ConvergenceRecord, Span, SpanEvent, MAX_SPAN_META,
+};
+pub use metrics::{
+    counter, counters_snapshot, gauge, gauges_snapshot, histogram, histograms_snapshot, Counter,
+    Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BINS,
+};
+pub use sink::{flush_jsonl, summary, write_jsonl};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the global collector is recording.
+///
+/// This is the compile-cheap no-op gate: a single relaxed atomic load.
+/// Instrumentation sites with non-trivial argument computation should check
+/// it before doing the work.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the global collector on (idempotent).
+///
+/// All collector storage — the convergence-record buffer in particular —
+/// is allocated here, so recording afterwards stays allocation-free.
+pub fn enable() {
+    collector::collector(); // force allocation of all buffers up front
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns the global collector off. Already-recorded data is kept until
+/// [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clears all recorded spans, convergence records and metric values.
+/// The enabled/disabled state is unchanged.
+pub fn reset() {
+    collector::reset();
+    metrics::reset();
+}
+
+/// Enables the collector when the environment asks for it
+/// (`LDMO_TRACE=1`). Returns whether tracing is now enabled.
+pub fn init_from_env() -> bool {
+    if std::env::var("LDMO_TRACE").is_ok_and(|v| v == "1") {
+        enable();
+    }
+    enabled()
+}
+
+/// One-call CLI setup shared by the `ldmo` binary and the bench bins.
+///
+/// Tracing is requested by either a `--trace-out PATH` argument (scanned
+/// from `std::env::args`) or `LDMO_TRACE=1` in the environment; with the
+/// env var alone the output path falls back to `LDMO_TRACE_OUT` and then to
+/// `ldmo_trace.jsonl`. Returns the JSONL output path when tracing was
+/// enabled, for a matching [`trace_finish`] at the end of the run.
+pub fn trace_setup() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out: Option<PathBuf> = None;
+    for pair in args.windows(2) {
+        if pair[0] == "--trace-out" {
+            out = Some(PathBuf::from(&pair[1]));
+        }
+    }
+    if out.is_none() && std::env::var("LDMO_TRACE").is_ok_and(|v| v == "1") {
+        let path = std::env::var("LDMO_TRACE_OUT").unwrap_or_else(|_| "ldmo_trace.jsonl".into());
+        out = Some(PathBuf::from(path));
+    }
+    if out.is_some() {
+        enable();
+    }
+    out
+}
+
+/// Writes the JSONL trace to `out` (when tracing was set up) and prints the
+/// end-of-run summary tree to stderr. Errors are reported to stderr, never
+/// panicked — telemetry must not take down a finished run.
+pub fn trace_finish(out: Option<&Path>) {
+    let Some(path) = out else { return };
+    match flush_jsonl(path) {
+        Ok(lines) => eprintln!("[trace] {lines} events written to {}", path.display()),
+        Err(e) => eprintln!("[trace] could not write {}: {e}", path.display()),
+    }
+    eprint!("{}", summary());
+}

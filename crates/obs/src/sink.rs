@@ -1,0 +1,281 @@
+//! Sinks draining the collector: the JSONL event stream and the
+//! human-readable end-of-run summary tree.
+
+use crate::collector::{self, SpanEvent};
+use crate::json;
+use crate::metrics;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Writes the full trace as JSONL (one JSON object per line) to `w`.
+/// Returns the number of lines written.
+///
+/// Line types (`"type"` field): `meta`, `span`, `conv`, `counter`,
+/// `gauge`, `hist`. Span metadata fields are flattened into the span
+/// object; non-finite numbers are emitted as `null`.
+pub fn write_jsonl<W: Write>(w: &mut W) -> io::Result<usize> {
+    let mut lines = 0usize;
+    let spans = collector::events_snapshot();
+    let records = collector::records_snapshot();
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    writeln!(
+        w,
+        "{{\"type\":\"meta\",\"version\":1,\"written_unix_ms\":{unix_ms},\
+         \"spans\":{},\"conv_records\":{},\"conv_dropped\":{}}}",
+        spans.len(),
+        records.len(),
+        collector::dropped_records()
+    )?;
+    lines += 1;
+
+    let mut ordered = spans;
+    ordered.sort_by_key(|s| (s.start_us, s.id));
+    for s in &ordered {
+        let mut line = format!(
+            "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\
+             \"start_us\":{},\"dur_us\":{}",
+            s.id,
+            s.parent,
+            json::escape(s.name),
+            s.start_us,
+            s.dur_us
+        );
+        for (key, value) in s.meta.iter().flatten() {
+            line.push_str(&format!(
+                ",\"{}\":{}",
+                json::escape(key),
+                json::number(*value)
+            ));
+        }
+        line.push('}');
+        writeln!(w, "{line}")?;
+        lines += 1;
+    }
+
+    for r in &records {
+        writeln!(
+            w,
+            "{{\"type\":\"conv\",\"span\":{},\"t_us\":{},\"iter\":{},\
+             \"l2\":{},\"step_norm\":{},\"epe\":{}}}",
+            r.span,
+            r.t_us,
+            r.iteration,
+            json::number(r.l2),
+            json::number(r.step_norm),
+            r.epe_violations
+        )?;
+        lines += 1;
+    }
+
+    for (name, value) in metrics::counters_snapshot() {
+        writeln!(
+            w,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json::escape(name)
+        )?;
+        lines += 1;
+    }
+    for (name, value) in metrics::gauges_snapshot() {
+        writeln!(
+            w,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json::escape(name),
+            json::number(value)
+        )?;
+        lines += 1;
+    }
+    for (name, h) in metrics::histograms_snapshot() {
+        // sparse bucket encoding: [[bucket, count], ...]
+        let bins: Vec<String> = h
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| format!("[{b},{c}]"))
+            .collect();
+        writeln!(
+            w,
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\
+             \"max\":{},\"bins\":[{}]}}",
+            json::escape(name),
+            h.count,
+            h.sum,
+            h.max,
+            bins.join(",")
+        )?;
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Writes the JSONL trace to `path` (created or truncated). Returns the
+/// number of lines written.
+pub fn flush_jsonl(path: &Path) -> io::Result<usize> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    let lines = write_jsonl(&mut file)?;
+    file.flush()?;
+    Ok(lines)
+}
+
+struct TreeNode {
+    calls: u64,
+    total: Duration,
+    children: Vec<usize>, // aggregate indices
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.0}µs", secs * 1e6)
+    }
+}
+
+/// Renders the human-readable end-of-run summary: the span tree aggregated
+/// by name path (call count + total wall time), followed by counters,
+/// gauges and histograms. Empty string when nothing was recorded.
+pub fn summary() -> String {
+    let events = collector::events_snapshot();
+    let records = collector::records_snapshot();
+    let counters = metrics::counters_snapshot();
+    let gauges = metrics::gauges_snapshot();
+    let histograms = metrics::histograms_snapshot();
+    if events.is_empty() && records.is_empty() && counters.is_empty() && histograms.is_empty() {
+        return String::new();
+    }
+
+    let mut out = String::from("── telemetry summary ──\n");
+
+    // Aggregate span instances into a tree keyed by the chain of names.
+    let by_id: HashMap<u64, &SpanEvent> = events.iter().map(|e| (e.id, e)).collect();
+    let path_of = |e: &SpanEvent| -> Vec<&'static str> {
+        let mut path = vec![e.name];
+        let mut parent = e.parent;
+        let mut guard = 0;
+        while parent != 0 && guard < 64 {
+            guard += 1;
+            match by_id.get(&parent) {
+                Some(p) => {
+                    path.push(p.name);
+                    parent = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    };
+    let mut aggregates: Vec<(Vec<&'static str>, TreeNode)> = Vec::new();
+    let mut index: HashMap<Vec<&'static str>, usize> = HashMap::new();
+    for e in &events {
+        let path = path_of(e);
+        // materialize every ancestor aggregate so orphaned prefixes render
+        for depth in 1..=path.len() {
+            let prefix = path[..depth].to_vec();
+            if !index.contains_key(&prefix) {
+                index.insert(prefix.clone(), aggregates.len());
+                aggregates.push((
+                    prefix,
+                    TreeNode {
+                        calls: 0,
+                        total: Duration::ZERO,
+                        children: Vec::new(),
+                    },
+                ));
+            }
+        }
+        let i = index[&path];
+        aggregates[i].1.calls += 1;
+        aggregates[i].1.total += Duration::from_micros(e.dur_us);
+    }
+    // link children
+    let links: Vec<(usize, usize)> = index
+        .iter()
+        .filter(|(path, _)| path.len() > 1)
+        .map(|(path, &i)| (index[&path[..path.len() - 1].to_vec()], i))
+        .collect();
+    for (parent, child) in links {
+        aggregates[parent].1.children.push(child);
+    }
+    let mut roots: Vec<usize> = index
+        .iter()
+        .filter(|(path, _)| path.len() == 1)
+        .map(|(_, &i)| i)
+        .collect();
+    let order_key = |i: usize| {
+        let (path, node) = &aggregates[i];
+        (std::cmp::Reverse(node.total), path.clone())
+    };
+    roots.sort_by_key(|&i| order_key(i));
+    fn render(
+        out: &mut String,
+        aggregates: &[(Vec<&'static str>, TreeNode)],
+        i: usize,
+        depth: usize,
+        order_key: &dyn Fn(usize) -> (std::cmp::Reverse<Duration>, Vec<&'static str>),
+    ) {
+        let (path, node) = &aggregates[i];
+        let name = path.last().expect("non-empty path");
+        let label = format!("{}{}", "  ".repeat(depth + 1), name);
+        out.push_str(&format!(
+            "{label:<38} {calls:>6} call{s} {total:>10}\n",
+            calls = node.calls,
+            s = if node.calls == 1 { " " } else { "s" },
+            total = fmt_duration(node.total)
+        ));
+        let mut children = node.children.clone();
+        children.sort_by_key(|&c| order_key(c));
+        for child in children {
+            render(out, aggregates, child, depth + 1, order_key);
+        }
+    }
+    if !events.is_empty() {
+        out.push_str("spans:\n");
+        for root in roots {
+            render(&mut out, &aggregates, root, 0, &order_key);
+        }
+    }
+
+    if !records.is_empty() {
+        out.push_str(&format!(
+            "convergence records: {} ({} dropped)\n",
+            records.len(),
+            collector::dropped_records()
+        ));
+    }
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in counters {
+            out.push_str(&format!("  {name:<36} {value:>12}\n"));
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in gauges {
+            out.push_str(&format!("  {name:<36} {value:>12.4}\n"));
+        }
+    }
+    if !histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in histograms {
+            out.push_str(&format!(
+                "  {name:<36} n={} mean={:.1} max={}\n",
+                h.count,
+                h.mean(),
+                h.max
+            ));
+        }
+    }
+    out
+}

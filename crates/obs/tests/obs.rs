@@ -1,0 +1,170 @@
+//! Behavioral tests of the observability layer. These run in one
+//! integration-test binary (and mostly one #[test]) because the collector
+//! is global per-process.
+
+use ldmo_obs::json;
+use std::time::Duration;
+
+/// Everything that touches global collector state lives in this single
+/// test: enable/disable, spans, metrics, convergence records, both sinks.
+#[test]
+fn collector_end_to_end() {
+    // disabled: recording is a no-op
+    assert!(!ldmo_obs::enabled());
+    {
+        let _s = ldmo_obs::span("off.span");
+        ldmo_obs::convergence(0, 1.0, f64::NAN, -1);
+    }
+    ldmo_obs::enable();
+    assert!(ldmo_obs::enabled());
+    assert!(ldmo_obs::events_snapshot().is_empty());
+    assert!(ldmo_obs::records_snapshot().is_empty());
+
+    // spans nest via the per-thread stack
+    {
+        let mut root = ldmo_obs::span("test.root");
+        root.set("layouts", 2.0);
+        std::thread::sleep(Duration::from_millis(2));
+        {
+            let mut child = ldmo_obs::span("test.child");
+            child.set("k", 1.0);
+            child.set("k", 3.0); // overwrite, not a second slot
+            ldmo_obs::convergence(0, 10.0, 0.5, -1);
+            ldmo_obs::convergence(1, 8.0, f64::NAN, 4);
+        }
+        assert!(root.elapsed() >= Duration::from_millis(2));
+    }
+    let events = ldmo_obs::events_snapshot();
+    assert_eq!(events.len(), 2, "off.span must not have recorded");
+    let child = events.iter().find(|e| e.name == "test.child").unwrap();
+    let root = events.iter().find(|e| e.name == "test.root").unwrap();
+    assert_eq!(child.parent, root.id);
+    assert_eq!(root.parent, 0);
+    assert!(root.dur_us >= 2000, "span timing is monotonic wall-clock");
+    assert!(root.dur_us >= child.dur_us);
+    assert_eq!(child.meta[0], Some(("k", 3.0)));
+    assert_eq!(child.meta[1], None);
+
+    // convergence records carry the enclosing span
+    let records = ldmo_obs::records_snapshot();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].span, child.id);
+    assert_eq!(records[0].iteration, 0);
+    assert_eq!(records[0].l2, 10.0);
+    assert!(records[1].step_norm.is_nan());
+    assert_eq!(records[1].epe_violations, 4);
+    assert_eq!(ldmo_obs::dropped_records(), 0);
+
+    // metrics: same name returns the same underlying cell
+    let c = ldmo_obs::counter("test.counter");
+    c.add(3);
+    ldmo_obs::counter("test.counter").incr();
+    assert_eq!(c.get(), 4);
+    let g = ldmo_obs::gauge("test.gauge");
+    g.set(2.5);
+    assert_eq!(ldmo_obs::gauge("test.gauge").get(), 2.5);
+    let h = ldmo_obs::histogram("test.hist");
+    h.record(0);
+    h.record(1);
+    h.record(1000);
+    h.record_duration(Duration::from_micros(1000));
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 4);
+    assert_eq!(snap.sum, 2001);
+    assert_eq!(snap.max, 1000);
+    assert_eq!(snap.bins.iter().sum::<u64>(), 4);
+    assert_eq!(snap.bins[0], 1, "zero lands in bucket 0");
+
+    // JSONL sink: every line parses, and the content round-trips
+    let mut buf = Vec::new();
+    let lines = ldmo_obs::write_jsonl(&mut buf).expect("in-memory write");
+    let text = String::from_utf8(buf).expect("utf-8");
+    let values = json::parse_jsonl(&text).expect("valid JSONL");
+    assert_eq!(values.len(), lines);
+    assert_eq!(
+        values[0].get("type").and_then(|v| v.as_str()),
+        Some("meta"),
+        "first line is the meta header"
+    );
+    let span_lines: Vec<_> = values
+        .iter()
+        .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some("span"))
+        .collect();
+    assert_eq!(span_lines.len(), 2);
+    assert!(span_lines
+        .iter()
+        .any(
+            |v| v.get("name").and_then(|n| n.as_str()) == Some("test.child")
+                && v.get("k").and_then(|k| k.as_f64()) == Some(3.0)
+        ));
+    let conv_lines: Vec<_> = values
+        .iter()
+        .filter(|v| v.get("type").and_then(|t| t.as_str()) == Some("conv"))
+        .collect();
+    assert_eq!(conv_lines.len(), 2);
+    assert_eq!(
+        conv_lines[1].get("step_norm"),
+        Some(&json::Value::Null),
+        "NaN must serialize as null"
+    );
+    assert!(values.iter().any(|v| {
+        v.get("type").and_then(|t| t.as_str()) == Some("counter")
+            && v.get("name").and_then(|n| n.as_str()) == Some("test.counter")
+            && v.get("value").and_then(|x| x.as_f64()) == Some(4.0)
+    }));
+    assert!(values.iter().any(|v| {
+        v.get("type").and_then(|t| t.as_str()) == Some("hist")
+            && v.get("bins").and_then(|b| b.as_array()).is_some()
+    }));
+
+    // summary tree renders the hierarchy and the metrics
+    let summary = ldmo_obs::summary();
+    assert!(summary.contains("test.root"));
+    assert!(summary.contains("test.child"));
+    assert!(summary.contains("test.counter"));
+    assert!(summary.contains("test.hist"));
+
+    // file sink
+    let path = std::env::temp_dir().join("ldmo_obs_test_trace.jsonl");
+    let written = ldmo_obs::flush_jsonl(&path).expect("file write");
+    assert_eq!(written, lines);
+    let reread = std::fs::read_to_string(&path).expect("read back");
+    json::parse_jsonl(&reread).expect("file trace is valid JSONL");
+    let _ = std::fs::remove_file(&path);
+
+    // reset clears data but keeps the enabled flag and metric identities
+    ldmo_obs::reset();
+    assert!(ldmo_obs::enabled());
+    assert!(ldmo_obs::events_snapshot().is_empty());
+    assert!(ldmo_obs::records_snapshot().is_empty());
+    assert_eq!(c.get(), 0);
+    // records stay allocation-bounded: capacity survives reset
+    assert!(ldmo_obs::convergence_capacity() > 0);
+
+    ldmo_obs::disable();
+    assert!(!ldmo_obs::enabled());
+}
+
+#[test]
+fn json_parser_accepts_and_rejects() {
+    let v = json::parse(r#"{"a":[1,2.5,-3e2],"b":"x\"y\n","c":null,"d":true}"#).unwrap();
+    assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+    assert_eq!(
+        v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+        Some(-300.0)
+    );
+    assert_eq!(v.get("b").unwrap().as_str(), Some("x\"y\n"));
+    assert_eq!(v.get("c"), Some(&json::Value::Null));
+    assert_eq!(v.get("d"), Some(&json::Value::Bool(true)));
+    assert_eq!(v.get("missing"), None);
+
+    assert!(json::parse("{").is_err());
+    assert!(json::parse("[1,]").is_err());
+    assert!(json::parse("{\"a\":1} trailing").is_err());
+    assert!(json::parse("nul").is_err());
+
+    assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    assert_eq!(json::number(1.5), "1.5");
+    assert_eq!(json::number(f64::NAN), "null");
+    assert_eq!(json::number(f64::INFINITY), "null");
+}

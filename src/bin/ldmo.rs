@@ -22,6 +22,7 @@ use ldmo::layout::{io as layout_io, Layout};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let trace_out = ldmo::obs::trace_setup();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown subcommand '{other}' (try 'ldmo help')")),
     };
+    ldmo::obs::trace_finish(trace_out.as_deref());
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -55,7 +57,9 @@ fn print_usage() {
          \x20 optimize  FILE --assignment 0,1,..       run ILT on one decomposition\n\
          \x20           [--masks K] [--out PREFIX]\n\
          \x20 flow      FILE [--predictor W.bin]       run the full LDMO flow\n\
-         \x20 train     --pool N --out W.bin           train the CNN predictor"
+         \x20 train     --pool N --out W.bin           train the CNN predictor\n\n\
+         every subcommand accepts --trace-out FILE (or LDMO_TRACE=1) to write\n\
+         an ldmo-obs JSONL trace and print a span summary to stderr"
     );
 }
 

@@ -17,4 +17,5 @@ pub use ldmo_ilt as ilt;
 pub use ldmo_layout as layout;
 pub use ldmo_litho as litho;
 pub use ldmo_nn as nn;
+pub use ldmo_obs as obs;
 pub use ldmo_vision as vision;

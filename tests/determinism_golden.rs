@@ -14,6 +14,9 @@ use ldmo_layout::cells;
 
 #[test]
 fn testcase_1_outcome_is_pinned() {
+    // Tracing must be an observer, not a participant: the pinned numbers
+    // below must hold with the collector recording every iteration.
+    ldmo::obs::enable();
     let (name, layout) = cells::all_cells()
         .into_iter()
         .next()
