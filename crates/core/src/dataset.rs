@@ -115,7 +115,8 @@ impl Dataset {
 }
 
 /// Assembles and labels a training set from `layouts` with the chosen
-/// sampling strategy. This is the expensive step: every sample costs one
+/// sampling strategy, fanning the labeling runs across the global
+/// [`ldmo_par`] pool. This is the expensive step: every sample costs one
 /// full ILT run.
 ///
 /// # Panics
@@ -127,7 +128,24 @@ pub fn build_dataset(
     scfg: &SamplingConfig,
     dcfg: &DatasetConfig,
 ) -> Dataset {
+    build_dataset_pooled(layouts, kind, scfg, dcfg, &ldmo_par::global())
+}
+
+/// [`build_dataset`] on an explicit pool (bit-identical for any pool size;
+/// `threads == 1` is the exact serial labeling loop).
+///
+/// # Panics
+///
+/// Panics if `layouts` is empty or sampling selects no pairs.
+pub fn build_dataset_pooled(
+    layouts: &[Layout],
+    kind: &SamplerKind,
+    scfg: &SamplingConfig,
+    dcfg: &DatasetConfig,
+    pool: &ldmo_par::ThreadPool,
+) -> Dataset {
     assert!(!layouts.is_empty(), "need layouts to sample from");
+    let mut span = ldmo_obs::span("dataset.build");
     let selected = match kind {
         SamplerKind::Engineered => sample_layouts(layouts, scfg),
         SamplerKind::Random => {
@@ -136,11 +154,10 @@ pub fn build_dataset(
             sample_layouts_random(layouts, target, scfg.seed ^ 0xFACE)
         }
     };
-    let mut images = Vec::new();
-    let mut raw_scores = Vec::new();
-    let mut provenance = Vec::new();
-    // one kernel-bank expansion serves every labeling run
-    let ctx = IltContext::new(&dcfg.ilt);
+    // flatten the deterministic sampling into one work list so the
+    // expensive labeling runs fan out over independent (layout, decomp)
+    // pairs; output stays in the serial loop's order
+    let mut pairs: Vec<(usize, MaskAssignment)> = Vec::new();
     for &li in &selected {
         let layout = &layouts[li];
         let decomps = match kind {
@@ -150,17 +167,33 @@ pub fn build_dataset(
                 sample_decompositions_random(layout, target, scfg.seed ^ li as u64)
             }
         };
-        for d in decomps {
-            let outcome = ctx.optimize(layout, &d);
+        pairs.extend(decomps.into_iter().map(|d| (li, d)));
+    }
+    span.set("samples", pairs.len() as f64);
+    span.set("pool", pool.threads() as f64);
+    // one kernel-bank expansion serves every labeling run; each worker
+    // recycles one IltScratch across its chunk of samples
+    let ctx = IltContext::new(&dcfg.ilt);
+    let labeled: Vec<(Grid, f64)> = pool.par_map_init(
+        &pairs,
+        || None::<ldmo_ilt::IltScratch>,
+        |scratch, (li, d)| {
+            let layout = &layouts[*li];
+            let outcome = ctx.optimize_reusing(layout, d, scratch);
             let score = printability_score(&outcome, &dcfg.weights);
             let img = layout
-                .decomposition_image(&d, dcfg.ilt.litho.nm_per_px)
+                .decomposition_image(d, dcfg.ilt.litho.nm_per_px)
                 .expect("sampled assignments are valid");
-            images.push(img);
-            raw_scores.push(score);
-            provenance.push((li, d));
-        }
+            (img, score)
+        },
+    );
+    let mut images = Vec::with_capacity(labeled.len());
+    let mut raw_scores = Vec::with_capacity(labeled.len());
+    for (img, score) in labeled {
+        images.push(img);
+        raw_scores.push(score);
     }
+    let provenance = pairs;
     assert!(!raw_scores.is_empty(), "sampling produced no pairs");
     let normalizer = Normalizer::fit(&raw_scores);
     let labels = raw_scores

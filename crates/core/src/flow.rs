@@ -130,12 +130,25 @@ pub struct FlowResult {
 pub struct LdmoFlow {
     cfg: FlowConfig,
     strategy: SelectionStrategy,
+    pool: ldmo_par::ThreadPool,
 }
 
 impl LdmoFlow {
-    /// Creates a flow with the given selection strategy.
+    /// Creates a flow with the given selection strategy, ranking
+    /// candidates on the global [`ldmo_par`] pool.
     pub fn new(cfg: FlowConfig, strategy: SelectionStrategy) -> Self {
-        LdmoFlow { cfg, strategy }
+        LdmoFlow {
+            cfg,
+            strategy,
+            pool: ldmo_par::global(),
+        }
+    }
+
+    /// Replaces the pool used for candidate ranking (results are
+    /// bit-identical for any pool size).
+    pub fn with_pool(mut self, pool: ldmo_par::ThreadPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Read access to the configuration.
@@ -159,6 +172,7 @@ impl LdmoFlow {
         let run_start = Instant::now();
         let mut root = ldmo_obs::span("flow.run");
         root.set("patterns", layout.len() as f64);
+        root.set("pool", self.pool.threads() as f64);
         // one kernel-bank expansion serves the proxy ranking, every abort
         // attempt and the final optimization
         let ctx = {
@@ -238,7 +252,10 @@ impl LdmoFlow {
     }
 
     /// Candidate indices in selection order (best first).
-    fn rank_candidates(
+    ///
+    /// Exposed for the scaling benches; `ctx` must have been built for
+    /// `self.config().ilt` (see [`IltContext::new`]).
+    pub fn rank_candidates(
         &mut self,
         layout: &Layout,
         candidates: &[MaskAssignment],
@@ -247,15 +264,19 @@ impl LdmoFlow {
         match &mut self.strategy {
             SelectionStrategy::Cnn(p) => p.rank(layout, candidates),
             SelectionStrategy::LithoProxy => {
+                // one forward simulation per candidate, fanned over the
+                // pool; scores are keyed by candidate index, so the sort
+                // below sees exactly the serial ordering
                 let weights = self.cfg.weights;
-                let mut scored: Vec<(usize, f64)> = candidates
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| {
-                        let out = ctx.evaluate_unoptimized(layout, c);
-                        (i, printability_score(&out, &weights))
-                    })
-                    .collect();
+                let scores: Vec<f64> = self.pool.par_map_init(
+                    candidates,
+                    || None::<ldmo_ilt::IltScratch>,
+                    |scratch, c| {
+                        let out = ctx.evaluate_unoptimized_reusing(layout, c, scratch);
+                        printability_score(&out, &weights)
+                    },
+                );
+                let mut scored: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
                 scored.sort_by(|a, b| a.1.total_cmp(&b.1));
                 scored.into_iter().map(|(i, _)| i).collect()
             }

@@ -133,6 +133,7 @@ pub fn train(
     let mut run_span = ldmo_obs::span("train.run");
     run_span.set("epochs", cfg.epochs as f64);
     run_span.set("examples", dataset.len() as f64);
+    run_span.set("pool", ldmo_par::global_threads() as f64);
     for epoch in 0..cfg.epochs {
         let mut span = ldmo_obs::span("train.epoch");
         let epoch_start = Instant::now();
@@ -177,14 +178,24 @@ pub fn train(
 pub fn evaluate_mae(predictor: &mut PrintabilityPredictor, dataset: &Dataset) -> f32 {
     assert!(!dataset.is_empty(), "cannot evaluate on an empty dataset");
     let input_size = predictor.network_mut().config().input_size;
+    // batch like the training loop: one forward per chunk instead of per
+    // sample (eval-mode conv and batch-norm are per-sample independent, so
+    // the per-sample errors are unchanged)
+    let indices: Vec<usize> = (0..dataset.len()).collect();
     let mut total = 0.0f64;
-    for i in 0..dataset.len() {
-        let (x, _) = dataset.batch(&[i], input_size);
+    for chunk in indices.chunks(EVAL_BATCH) {
+        let (x, _) = dataset.batch(chunk, input_size);
         let pred = predictor.network_mut().forward(&x, false);
-        total += f64::from((pred.as_slice()[0] - dataset.labels[i]).abs());
+        for (k, &i) in chunk.iter().enumerate() {
+            total += f64::from((pred.as_slice()[k] - dataset.labels[i]).abs());
+        }
     }
     (total / dataset.len() as f64) as f32
 }
+
+/// Evaluation mini-batch size (amortizes per-forward overhead and lets the
+/// conv layers fan samples across the pool).
+const EVAL_BATCH: usize = 8;
 
 #[cfg(test)]
 mod tests {

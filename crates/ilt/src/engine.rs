@@ -124,6 +124,35 @@ impl IltOutcome {
     }
 }
 
+/// Recyclable per-worker session buffers: the litho workspace, forward
+/// artifacts and gradient fields — exactly the DESIGN.md §6 scratch a
+/// session allocates at construction. Labeling and ranking loops hand one
+/// `Option<IltScratch>` per pool worker to
+/// [`IltContext::optimize_reusing`] / [`IltContext::evaluate_unoptimized_reusing`],
+/// which take the buffers when the grid shape matches and return them
+/// after the run, so the big buffers are allocated once per worker (at
+/// region start) instead of once per sample. The per-sample inputs —
+/// target/corridor rasters, parameter fields, and the kernel-bank handle —
+/// are still built per session; only the overwritten-every-iteration
+/// scratch is recycled, which is what keeps reuse bit-exact.
+#[derive(Debug, Clone)]
+pub struct IltScratch {
+    ws: LithoWorkspace,
+    fwd: PairForward,
+    grads: [Grid; 2],
+}
+
+impl IltScratch {
+    /// Whether these buffers fit a `width × height` session under a bank
+    /// of `num_kernels` kernels.
+    fn matches(&self, width: usize, height: usize, num_kernels: usize) -> bool {
+        self.ws.shape() == (width, height)
+            && self.fwd.masks.len() == 2
+            && self.fwd.printed.shape() == (width, height)
+            && self.fwd.aerials[0].fields.len() == num_kernels
+    }
+}
+
 /// Shared, immutable per-configuration state of the ILT engine: the config
 /// plus the kernel bank expanded once for its optical model.
 ///
@@ -181,7 +210,7 @@ impl IltContext {
     /// Panics if `assignment.len() != layout.len()` or contains mask
     /// indices other than 0/1.
     pub fn session(&self, layout: &Layout, assignment: &[u8]) -> IltSession {
-        IltSession::from_parts(layout, assignment, &self.cfg, self.bank.clone())
+        IltSession::from_parts(layout, assignment, &self.cfg, self.bank.clone(), None)
     }
 
     /// Runs the full optimization loop (see [`optimize`]).
@@ -189,11 +218,56 @@ impl IltContext {
         run_session(self.session(layout, assignment))
     }
 
+    /// [`IltContext::optimize`] with buffer recycling: the session takes
+    /// its workspace/forward/gradient buffers from `scratch` when the grid
+    /// shape matches (allocating them only otherwise) and returns them to
+    /// `scratch` after the run. Bit-identical to [`IltContext::optimize`]
+    /// — the recycled buffers are fully overwritten before first read
+    /// (DESIGN.md §6).
+    pub fn optimize_reusing(
+        &self,
+        layout: &Layout,
+        assignment: &[u8],
+        scratch: &mut Option<IltScratch>,
+    ) -> IltOutcome {
+        let session = IltSession::from_parts(
+            layout,
+            assignment,
+            &self.cfg,
+            self.bank.clone(),
+            scratch.take(),
+        );
+        run_session_recycling(session, Some(scratch))
+    }
+
     /// Forward-only evaluation of a decomposition (see
     /// [`evaluate_unoptimized`]).
     pub fn evaluate_unoptimized(&self, layout: &Layout, assignment: &[u8]) -> IltOutcome {
         let mut span = ldmo_obs::span("ilt.evaluate");
         let outcome = self.session(layout, assignment).into_outcome();
+        span.set("epe", outcome.epe_violations() as f64);
+        outcome
+    }
+
+    /// [`IltContext::evaluate_unoptimized`] with buffer recycling, for
+    /// per-worker candidate-ranking loops (same contract as
+    /// [`IltContext::optimize_reusing`]).
+    pub fn evaluate_unoptimized_reusing(
+        &self,
+        layout: &Layout,
+        assignment: &[u8],
+        scratch: &mut Option<IltScratch>,
+    ) -> IltOutcome {
+        let mut span = ldmo_obs::span("ilt.evaluate");
+        let session = IltSession::from_parts(
+            layout,
+            assignment,
+            &self.cfg,
+            self.bank.clone(),
+            scratch.take(),
+        );
+        let outcome = session.snapshot(Vec::new(), None);
+        *scratch = Some(session.into_scratch());
         span.set("epe", outcome.epe_violations() as f64);
         outcome
     }
@@ -230,10 +304,16 @@ impl IltSession {
     /// indices other than 0/1.
     pub fn new(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> Self {
         let bank = KernelBank::paper_bank(&cfg.litho);
-        IltSession::from_parts(layout, assignment, cfg, bank)
+        IltSession::from_parts(layout, assignment, cfg, bank, None)
     }
 
-    fn from_parts(layout: &Layout, assignment: &[u8], cfg: &IltConfig, bank: KernelBank) -> Self {
+    fn from_parts(
+        layout: &Layout,
+        assignment: &[u8],
+        cfg: &IltConfig,
+        bank: KernelBank,
+        recycled: Option<IltScratch>,
+    ) -> Self {
         if ldmo_obs::enabled() {
             ldmo_obs::counter("ilt.sessions").incr();
         }
@@ -270,9 +350,15 @@ impl IltSession {
             m2.map(|v| if v > 0.5 { p0 } else { -p0 }),
         ];
         let (w, h) = target.shape();
-        let ws = LithoWorkspace::new(w, h);
-        let fwd = PairForward::zeros(w, h, 2, bank.kernels().len());
-        let grads = [Grid::zeros(w, h), Grid::zeros(w, h)];
+        let nk = bank.kernels().len();
+        let IltScratch { ws, fwd, grads } = match recycled {
+            Some(scratch) if scratch.matches(w, h, nk) => scratch,
+            _ => IltScratch {
+                ws: LithoWorkspace::new(w, h),
+                fwd: PairForward::zeros(w, h, 2, nk),
+                grads: [Grid::zeros(w, h), Grid::zeros(w, h)],
+            },
+        };
         IltSession {
             patterns: layout.patterns().to_vec(),
             cfg: cfg.clone(),
@@ -405,6 +491,16 @@ impl IltSession {
     pub fn into_outcome(self) -> IltOutcome {
         self.snapshot(Vec::new(), None)
     }
+
+    /// Recovers the recyclable buffers for the next session of the same
+    /// shape (see [`IltScratch`]).
+    fn into_scratch(self) -> IltScratch {
+        IltScratch {
+            ws: self.ws,
+            fwd: self.fwd,
+            grads: self.grads,
+        }
+    }
 }
 
 /// Runs double-patterning ILT on `layout` under the decomposition
@@ -420,7 +516,16 @@ pub fn optimize(layout: &Layout, assignment: &[u8], cfg: &IltConfig) -> IltOutco
 
 /// Drives a prepared session through the full optimization loop with
 /// violation checks, as configured by the session's [`IltConfig`].
-fn run_session(mut session: IltSession) -> IltOutcome {
+fn run_session(session: IltSession) -> IltOutcome {
+    run_session_recycling(session, None)
+}
+
+/// [`run_session`], optionally returning the session's recyclable buffers
+/// through `recycle` for the next same-shape session.
+fn run_session_recycling(
+    mut session: IltSession,
+    recycle: Option<&mut Option<IltScratch>>,
+) -> IltOutcome {
     let mut span = ldmo_obs::span("ilt.run");
     let cfg = session.cfg.clone();
     let mut trajectory = Vec::with_capacity(cfg.max_iterations);
@@ -475,6 +580,9 @@ fn run_session(mut session: IltSession) -> IltOutcome {
         }
     }
     let outcome = session.snapshot(trajectory, aborted_at);
+    if let Some(slot) = recycle {
+        *slot = Some(session.into_scratch());
+    }
     span.set("iterations", outcome.iterations_run as f64);
     span.set(
         "aborted",

@@ -36,8 +36,8 @@ pub mod multi;
 pub mod rule_opc;
 
 pub use engine::{
-    evaluate_unoptimized, optimize, IltConfig, IltContext, IltOutcome, IltSession, IterationStats,
-    ViolationPolicy,
+    evaluate_unoptimized, optimize, IltConfig, IltContext, IltOutcome, IltScratch, IltSession,
+    IterationStats, ViolationPolicy,
 };
 pub use gradient::{
     forward_multi, forward_multi_into, forward_pair, l2_gradient_multi, l2_gradient_multi_into,

@@ -238,29 +238,65 @@ impl Layer for Conv2d {
         let (oh, ow) = self.output_hw(h, w);
         let mut out = Tensor::zeros(vec![n, self.out_channels, oh, ow]);
         let k2 = self.in_channels * self.kernel * self.kernel;
-        let mut cols = Vec::with_capacity(n);
-        for ni in 0..n {
-            let col = self.im2col(x, ni, oh, ow);
-            let dst = &mut out.as_mut_slice()[ni * self.out_channels * oh * ow..]
-                [..self.out_channels * oh * ow];
-            matmul_acc(
-                self.weight.value.as_slice(),
-                &col,
-                self.out_channels,
-                k2,
-                oh * ow,
-                dst,
-            );
-            if let Some(b) = &self.bias {
-                for oc in 0..self.out_channels {
-                    let bv = b.value.as_slice()[oc];
-                    for v in &mut dst[oc * oh * ow..(oc + 1) * oh * ow] {
-                        *v += bv;
+        let pool = ldmo_par::global();
+        let ohw = self.out_channels * oh * ow;
+        let cols = if pool.threads() == 1 || n == 1 {
+            let mut cols = Vec::with_capacity(n);
+            for ni in 0..n {
+                let col = self.im2col(x, ni, oh, ow);
+                let dst = &mut out.as_mut_slice()[ni * ohw..][..ohw];
+                matmul_acc(
+                    self.weight.value.as_slice(),
+                    &col,
+                    self.out_channels,
+                    k2,
+                    oh * ow,
+                    dst,
+                );
+                if let Some(b) = &self.bias {
+                    for oc in 0..self.out_channels {
+                        let bv = b.value.as_slice()[oc];
+                        for v in &mut dst[oc * oh * ow..(oc + 1) * oh * ow] {
+                            *v += bv;
+                        }
                     }
                 }
+                cols.push(col);
             }
-            cols.push(col);
-        }
+            cols
+        } else {
+            // samples are independent and write disjoint output slices:
+            // compute each slab on the pool, copy back in index order
+            let samples: Vec<usize> = (0..n).collect();
+            let slabs = pool.par_map(&samples, |&ni| {
+                let col = self.im2col(x, ni, oh, ow);
+                let mut slab = vec![0.0f32; ohw];
+                matmul_acc(
+                    self.weight.value.as_slice(),
+                    &col,
+                    self.out_channels,
+                    k2,
+                    oh * ow,
+                    &mut slab,
+                );
+                if let Some(b) = &self.bias {
+                    for oc in 0..self.out_channels {
+                        let bv = b.value.as_slice()[oc];
+                        for v in &mut slab[oc * oh * ow..(oc + 1) * oh * ow] {
+                            *v += bv;
+                        }
+                    }
+                }
+                (col, slab)
+            });
+            let os = out.as_mut_slice();
+            let mut cols = Vec::with_capacity(n);
+            for (ni, (col, slab)) in slabs.into_iter().enumerate() {
+                os[ni * ohw..(ni + 1) * ohw].copy_from_slice(&slab);
+                cols.push(col);
+            }
+            cols
+        };
         self.cache = Some(ConvCache {
             input_shape: [n, c, h, w],
             cols,
@@ -275,45 +311,107 @@ impl Layer for Conv2d {
         let (oh, ow) = cache.out_hw;
         let k2 = self.in_channels * self.kernel * self.kernel;
         let mut dx = Tensor::zeros(vec![n, c, h, w]);
-        for ni in 0..n {
-            let go = &grad_out.as_slice()[ni * self.out_channels * oh * ow..]
-                [..self.out_channels * oh * ow];
-            // dW[oc, k2] += go[oc, ohw] · col[k2, ohw]ᵀ  — implemented as
-            // looping GEMM with B transposed: dW = go · colᵀ
-            {
-                let dw = self.weight.grad.as_mut_slice();
+        let pool = ldmo_par::global();
+        if pool.threads() == 1 || n == 1 {
+            for ni in 0..n {
+                let go = &grad_out.as_slice()[ni * self.out_channels * oh * ow..]
+                    [..self.out_channels * oh * ow];
+                // dW[oc, k2] += go[oc, ohw] · col[k2, ohw]ᵀ  — implemented as
+                // looping GEMM with B transposed: dW = go · colᵀ
+                {
+                    let dw = self.weight.grad.as_mut_slice();
+                    let col = &cache.cols[ni];
+                    for oc in 0..self.out_channels {
+                        let gorow = &go[oc * oh * ow..(oc + 1) * oh * ow];
+                        let dwrow = &mut dw[oc * k2..(oc + 1) * k2];
+                        for p in 0..k2 {
+                            let colrow = &col[p * oh * ow..(p + 1) * oh * ow];
+                            let mut acc = 0.0f32;
+                            for (g, cv) in gorow.iter().zip(colrow) {
+                                acc += g * cv;
+                            }
+                            dwrow[p] += acc;
+                        }
+                    }
+                }
+                if let Some(b) = &mut self.bias {
+                    let db = b.grad.as_mut_slice();
+                    for oc in 0..self.out_channels {
+                        db[oc] += go[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+                    }
+                }
+                // dcol[k2, ohw] = Wᵀ[k2, oc] · go[oc, ohw]
+                let mut dcol = vec![0.0f32; k2 * oh * ow];
+                matmul_at_acc(
+                    self.weight.value.as_slice(),
+                    go,
+                    k2,
+                    self.out_channels,
+                    oh * ow,
+                    &mut dcol,
+                );
+                let img = self.col2im(&dcol, cache.input_shape, oh, ow);
+                dx.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w].copy_from_slice(&img);
+            }
+        } else {
+            // per-sample partials are written by ASSIGNMENT inside the
+            // workers, then reduced here in ascending sample order: the
+            // element-wise addition sequence is exactly the serial loop's,
+            // so gradients are bit-identical for any thread count
+            let samples: Vec<usize> = (0..n).collect();
+            let parts = pool.par_map(&samples, |&ni| {
+                let go = &grad_out.as_slice()[ni * self.out_channels * oh * ow..]
+                    [..self.out_channels * oh * ow];
                 let col = &cache.cols[ni];
+                let mut dwp = vec![0.0f32; self.out_channels * k2];
                 for oc in 0..self.out_channels {
                     let gorow = &go[oc * oh * ow..(oc + 1) * oh * ow];
-                    let dwrow = &mut dw[oc * k2..(oc + 1) * k2];
+                    let dwrow = &mut dwp[oc * k2..(oc + 1) * k2];
                     for p in 0..k2 {
                         let colrow = &col[p * oh * ow..(p + 1) * oh * ow];
                         let mut acc = 0.0f32;
                         for (g, cv) in gorow.iter().zip(colrow) {
                             acc += g * cv;
                         }
-                        dwrow[p] += acc;
+                        dwrow[p] = acc;
                     }
+                }
+                let dbp = self.bias.is_some().then(|| {
+                    (0..self.out_channels)
+                        .map(|oc| go[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>())
+                        .collect::<Vec<f32>>()
+                });
+                let mut dcol = vec![0.0f32; k2 * oh * ow];
+                matmul_at_acc(
+                    self.weight.value.as_slice(),
+                    go,
+                    k2,
+                    self.out_channels,
+                    oh * ow,
+                    &mut dcol,
+                );
+                let img = self.col2im(&dcol, cache.input_shape, oh, ow);
+                (dwp, dbp, img)
+            });
+            let dw = self.weight.grad.as_mut_slice();
+            for (dwp, _, _) in &parts {
+                for (d, &p) in dw.iter_mut().zip(dwp) {
+                    *d += p;
                 }
             }
             if let Some(b) = &mut self.bias {
                 let db = b.grad.as_mut_slice();
-                for oc in 0..self.out_channels {
-                    db[oc] += go[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+                for (_, dbp, _) in &parts {
+                    let dbp = dbp.as_ref().expect("bias partial present");
+                    for (d, &p) in db.iter_mut().zip(dbp) {
+                        *d += p;
+                    }
                 }
             }
-            // dcol[k2, ohw] = Wᵀ[k2, oc] · go[oc, ohw]
-            let mut dcol = vec![0.0f32; k2 * oh * ow];
-            matmul_at_acc(
-                self.weight.value.as_slice(),
-                go,
-                k2,
-                self.out_channels,
-                oh * ow,
-                &mut dcol,
-            );
-            let img = self.col2im(&dcol, cache.input_shape, oh, ow);
-            dx.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w].copy_from_slice(&img);
+            let dxs = dx.as_mut_slice();
+            for (ni, (_, _, img)) in parts.into_iter().enumerate() {
+                dxs[ni * c * h * w..(ni + 1) * c * h * w].copy_from_slice(&img);
+            }
         }
         dx
     }

@@ -99,11 +99,15 @@ impl Collector {
 struct SpanStack {
     ids: [u64; MAX_SPAN_DEPTH],
     depth: usize,
+    /// Fallback parent while the stack is empty: pool workers adopt the
+    /// span that was open on the thread that dispatched to them, so spans
+    /// opened inside parallel regions stay attached to the root tree.
+    adopted: u64,
 }
 
 thread_local! {
     static SPAN_STACK: RefCell<SpanStack> = const {
-        RefCell::new(SpanStack { ids: [0; MAX_SPAN_DEPTH], depth: 0 })
+        RefCell::new(SpanStack { ids: [0; MAX_SPAN_DEPTH], depth: 0, adopted: 0 })
     };
 }
 
@@ -111,10 +115,30 @@ fn current_span() -> u64 {
     SPAN_STACK.with(|s| {
         let s = s.borrow();
         if s.depth == 0 {
-            0
+            s.adopted
         } else {
             s.ids[(s.depth - 1).min(MAX_SPAN_DEPTH - 1)]
         }
+    })
+}
+
+/// Id of the innermost span on the calling thread (0 = none). Pool
+/// dispatchers capture this and hand it to workers via
+/// [`adopt_parent_span`].
+pub fn current_span_id() -> u64 {
+    current_span()
+}
+
+/// Sets the calling thread's fallback parent: spans opened (and
+/// convergence rows recorded) while this thread's own span stack is empty
+/// attach to `parent` instead of floating at the root. Returns the
+/// previous fallback so callers can restore it when the parallel region
+/// ends. Spans already on the stack are unaffected — the adoption only
+/// fills the empty-stack case, so it cannot corrupt span nesting.
+pub fn adopt_parent_span(parent: u64) -> u64 {
+    SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        std::mem::replace(&mut s.adopted, parent)
     })
 }
 

@@ -37,8 +37,8 @@ mod metrics;
 mod sink;
 
 pub use collector::{
-    convergence, convergence_capacity, dropped_records, events_snapshot, records_snapshot, span,
-    ConvergenceRecord, Span, SpanEvent, MAX_SPAN_META,
+    adopt_parent_span, convergence, convergence_capacity, current_span_id, dropped_records,
+    events_snapshot, records_snapshot, span, ConvergenceRecord, Span, SpanEvent, MAX_SPAN_META,
 };
 pub use metrics::{
     counter, counters_snapshot, gauge, gauges_snapshot, histogram, histograms_snapshot, Counter,

@@ -1,0 +1,565 @@
+#![warn(missing_docs)]
+//! # ldmo-par — deterministic fork-join parallelism
+//!
+//! A dependency-free scoped thread pool (the build environment has no
+//! crates.io access, and the vendor policy forbids rayon) built for one
+//! job: fan a slice of independent work items across threads **without
+//! changing a single bit of the result**.
+//!
+//! Determinism comes from two rules (DESIGN.md §10):
+//!
+//! - **Static chunking.** Items are split into contiguous chunks by index
+//!   arithmetic over `(len, threads)` — never work-stealing — so which
+//!   worker computes which item is a pure function of the input.
+//! - **Index-keyed output, fixed-order reduction.** [`ThreadPool::par_map`]
+//!   writes `result[i]` for item `i`; any cross-item reduction happens on
+//!   the calling thread in item order, replaying the serial fold exactly.
+//!   Together these make results identical for *any* thread count, not
+//!   just reproducible at a fixed one.
+//!
+//! [`ThreadPool::par_map_init`] gives each participating worker an owned
+//! scratch state built once per parallel region, so the workspace-reuse
+//! discipline of DESIGN.md §6 (e.g. a per-worker `IltScratch`) survives
+//! parallelism: workers allocate at region start, not per item.
+//!
+//! A pool with `threads == 1` (and any nested call from inside a worker)
+//! takes the exact serial code path — a plain `iter().map()` fold with one
+//! scratch state — so `--threads 1` is byte-for-byte the pre-parallel
+//! engine.
+//!
+//! Telemetry: every top-level region adds its item count to the `par.tasks`
+//! counter, and workers adopt the dispatching thread's innermost span as
+//! their parent (via `ldmo_obs::adopt_parent_span`), so spans opened inside
+//! parallel regions stay attached to the trace tree instead of floating at
+//! the root.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+use std::thread;
+
+/// Locks ignoring poison: the pool's mutexes only guard state that stays
+/// valid across a panic (worker panics are caught before any lock is
+/// touched; the one unwind-while-held is the dispatcher re-raising a
+/// worker panic after the region fully completed).
+fn lock_pool<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// One parallel region, type-erased for broadcast to the resident workers.
+/// `data` points at a stack-allocated region context on the dispatching
+/// thread, which blocks until every worker reports done — the pointer never
+/// outlives its referent.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    run: unsafe fn(*const (), usize, usize),
+}
+
+// The region context behind `data` only holds `Sync` references (items,
+// closures) plus a results pointer written at disjoint indices.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Region generation counter; workers run one job per new epoch.
+    epoch: u64,
+    job: Option<Job>,
+    /// Helpers still running the current epoch's job.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct Inner {
+    threads: usize,
+    shared: Arc<Shared>,
+    /// Serializes regions: one fork-join at a time per pool.
+    region: Mutex<()>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_pool(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in lock_pool(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+thread_local! {
+    /// Set while this thread is executing a chunk of a parallel region —
+    /// on resident workers *and* on the dispatching thread (which runs
+    /// chunk 0 itself). Nested `par_map` calls check it and degrade to the
+    /// serial path instead of deadlocking on the region lock.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_region() -> bool {
+    IN_REGION.with(Cell::get)
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize, total: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock_pool(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    break st.job.expect("job published with its epoch");
+                }
+                st = shared
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        IN_REGION.with(|f| f.set(true));
+        // Soundness: the dispatcher keeps the region context alive until
+        // `remaining` hits 0 below.
+        unsafe { (job.run)(job.data, index, total) };
+        IN_REGION.with(|f| f.set(false));
+        let mut st = lock_pool(&shared.state);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Contiguous static chunk of `0..n` owned by worker `index` of `total`:
+/// the first `n % total` workers get one extra item. A pure function of
+/// `(n, index, total)` — the scheduling half of the determinism rule.
+fn chunk_bounds(n: usize, index: usize, total: usize) -> (usize, usize) {
+    let base = n / total;
+    let rem = n % total;
+    let start = index * base + index.min(rem);
+    (start, start + base + usize::from(index < rem))
+}
+
+/// Region context for [`ThreadPool::par_map_init`], shared by reference
+/// with every worker for the duration of one region.
+struct MapCtx<'a, T, S, R, I, F> {
+    items: &'a [T],
+    /// Disjoint-index output: worker `w` writes exactly `chunk_bounds(w)`.
+    out: *mut MaybeUninit<R>,
+    init: &'a I,
+    f: &'a F,
+    /// Innermost span of the dispatching thread, adopted by workers.
+    parent_span: u64,
+    /// First panic payload from any worker (the dispatcher re-raises it).
+    panic: &'a Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    _state: PhantomData<fn() -> S>,
+}
+
+unsafe fn run_map_chunk<T, S, R, I, F>(data: *const (), index: usize, total: usize)
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let ctx = unsafe { &*data.cast::<MapCtx<'_, T, S, R, I, F>>() };
+    let (start, end) = chunk_bounds(ctx.items.len(), index, total);
+    if start >= end {
+        return;
+    }
+    let previous = (index > 0).then(|| ldmo_obs::adopt_parent_span(ctx.parent_span));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        // per-worker scratch: one init per region, reused across the chunk
+        let mut state = (ctx.init)();
+        for i in start..end {
+            let value = (ctx.f)(&mut state, &ctx.items[i]);
+            // disjoint chunks: no other worker touches slot i
+            unsafe { (*ctx.out.add(i)).write(value) };
+        }
+    }));
+    if let Some(parent) = previous {
+        ldmo_obs::adopt_parent_span(parent);
+    }
+    if let Err(payload) = result {
+        let mut slot = lock_pool(ctx.panic);
+        slot.get_or_insert(payload);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// A fixed-size fork-join pool. `threads - 1` resident workers are spawned
+/// at construction and parked on a condvar between regions; the calling
+/// thread participates as worker 0 of every region. Cloning is a cheap
+/// handle copy; the workers shut down when the last handle drops.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+}
+
+impl Clone for ThreadPool {
+    fn clone(&self) -> Self {
+        ThreadPool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.inner.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Builds a pool of `threads` total workers (clamped to at least 1).
+    /// `threads - 1` OS threads are spawned here — this is the only place
+    /// the pool allocates.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ldmo-par-{index}"))
+                    .spawn(move || worker_loop(shared, index, threads))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            inner: Arc::new(Inner {
+                threads,
+                shared,
+                region: Mutex::new(()),
+                handles: Mutex::new(handles),
+            }),
+        }
+    }
+
+    /// Total workers, including the calling thread.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Maps `f` over `items`, preserving order: `result[i] == f(&items[i])`
+    /// bit-for-bit, for any thread count.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_init(items, || (), move |(), item| f(item))
+    }
+
+    /// [`ThreadPool::par_map`] with per-worker scratch: `init` runs once
+    /// per participating worker at region start, and `f` receives that
+    /// worker's state for every item of its chunk. `f` must use the state
+    /// as *scratch only* — results must not depend on which items the
+    /// state saw before (the chunking, and therefore the state history,
+    /// changes with the thread count; fully-overwritten workspaces in the
+    /// sense of DESIGN.md §6 satisfy this by construction).
+    pub fn par_map_init<T, S, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let nested = in_region();
+        if !nested && ldmo_obs::enabled() {
+            ldmo_obs::counter("par.tasks").add(n as u64);
+        }
+        if self.inner.threads == 1 || n == 1 || nested {
+            // the exact serial code path: one scratch state, a plain fold
+            // in item order
+            let mut state = init();
+            return items.iter().map(|item| f(&mut state, item)).collect();
+        }
+
+        let mut out: Vec<MaybeUninit<R>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+        let panic_slot = Mutex::new(None);
+        let ctx = MapCtx::<'_, T, S, R, I, F> {
+            items,
+            out: out.as_mut_ptr(),
+            init: &init,
+            f: &f,
+            parent_span: ldmo_obs::current_span_id(),
+            panic: &panic_slot,
+            _state: PhantomData,
+        };
+        let data = (&ctx as *const MapCtx<'_, T, S, R, I, F>).cast::<()>();
+        let run = run_map_chunk::<T, S, R, I, F>;
+
+        let _region = lock_pool(&self.inner.region);
+        {
+            let mut st = lock_pool(&self.inner.shared.state);
+            st.epoch += 1;
+            st.job = Some(Job { data, run });
+            st.remaining = self.inner.threads - 1;
+            self.inner.shared.work_cv.notify_all();
+        }
+        // the dispatcher works chunk 0 itself (panics are caught inside)
+        IN_REGION.with(|flag| flag.set(true));
+        unsafe { run(data, 0, self.inner.threads) };
+        IN_REGION.with(|flag| flag.set(false));
+        {
+            let mut st = lock_pool(&self.inner.shared.state);
+            while st.remaining > 0 {
+                st = self
+                    .inner
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.job = None;
+        }
+
+        if let Some(payload) = panic_slot
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            // `out` drops as MaybeUninit (no R destructors run), so results
+            // written before the panic leak instead of double-dropping
+            panic::resume_unwind(payload);
+        }
+        // every slot 0..n was written by exactly one disjoint chunk
+        let mut out = ManuallyDrop::new(out);
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<R>(), n, out.capacity()) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process-global pool
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<RwLock<ThreadPool>> = OnceLock::new();
+
+fn global_cell() -> &'static RwLock<ThreadPool> {
+    GLOBAL.get_or_init(|| RwLock::new(ThreadPool::new(default_threads())))
+}
+
+/// The thread count the global pool starts with: `LDMO_THREADS` when set
+/// to a positive integer, otherwise `std::thread::available_parallelism()`.
+pub fn default_threads() -> usize {
+    match std::env::var("LDMO_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// A handle to the process-global pool (created on first use).
+pub fn global() -> ThreadPool {
+    global_cell().read().expect("global pool lock").clone()
+}
+
+/// Thread count of the global pool.
+pub fn global_threads() -> usize {
+    global_cell().read().expect("global pool lock").threads()
+}
+
+/// Replaces the global pool with one of `threads` workers (clamped to at
+/// least 1). Existing [`global`] handles keep their old pool; its workers
+/// shut down when the last handle drops. Regions in flight on the old pool
+/// finish undisturbed — swapping is safe at any time, which is what lets
+/// one test process compare `--threads 1` against `--threads 4` runs.
+pub fn set_global_threads(threads: usize) {
+    *global_cell().write().expect("global pool lock") = ThreadPool::new(threads);
+}
+
+/// One-call CLI setup shared by the `ldmo` binary and the bench bins:
+/// scans `std::env::args` for `--threads N` (last occurrence wins) and
+/// resizes the global pool accordingly; without the flag the pool keeps
+/// its default (`LDMO_THREADS` or `available_parallelism`). Returns the
+/// resulting global thread count.
+pub fn cli_setup() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut requested = None;
+    for pair in args.windows(2) {
+        if pair[0] == "--threads" {
+            match pair[1].parse::<usize>() {
+                Ok(n) if n >= 1 => requested = Some(n),
+                _ => eprintln!("ignoring invalid --threads value '{}'", pair[1]),
+            }
+        }
+    }
+    if let Some(n) = requested {
+        set_global_threads(n);
+    }
+    global_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<u64> = pool.par_map(&[], |x: &u64| x + 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_uses_serial_path() {
+        let pool = ThreadPool::new(4);
+        let out = pool.par_map(&[41u64], |x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.par_map(&items, |&i| i * i);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        }
+    }
+
+    #[test]
+    fn chunking_is_invariant_across_thread_counts() {
+        // a floating-point computation whose bits would drift if the
+        // reduction order changed; per-item outputs must be identical
+        // regardless of pool size
+        let items: Vec<f32> = (0..257).map(|i| (i as f32).sin()).collect();
+        let reference: Vec<f32> = items.iter().map(|&v| (v * 1.7 + 0.1).exp()).collect();
+        for threads in [1, 2, 3, 4, 5, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.par_map(&items, |&v| (v * 1.7 + 0.1).exp());
+            let same = out
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "bit drift at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 8, 9, 100] {
+            for total in 1..=9 {
+                let mut covered = vec![0u32; n];
+                let mut last_end = 0;
+                for w in 0..total {
+                    let (start, end) = chunk_bounds(n, w, total);
+                    assert_eq!(start, last_end, "chunks must be contiguous");
+                    last_end = end;
+                    for slot in &mut covered[start..end] {
+                        *slot += 1;
+                    }
+                }
+                assert_eq!(last_end, n);
+                assert!(covered.iter().all(|&c| c == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn init_runs_once_per_participating_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let pool = ThreadPool::new(4);
+        let out = pool.par_map_init(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<usize>::new()
+            },
+            |scratch, &i| {
+                scratch.clear();
+                scratch.push(i);
+                scratch[0] * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::SeqCst), 4, "one init per worker");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |&i| {
+                assert!(i != 40, "injected failure");
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate to the dispatcher");
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("injected failure"), "payload: {message}");
+        // the pool must stay usable after a panicked region
+        let out = pool.par_map(&items, |&i| i + 1);
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial() {
+        let pool = ThreadPool::new(4);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = pool.par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..4).collect();
+            // uses the same (global-style) pool from inside a region
+            pool.par_map(&inner, |&j| i * 10 + j).iter().sum::<usize>()
+        });
+        assert_eq!(out[2], 20 + 21 + 22 + 23);
+    }
+
+    #[test]
+    fn global_pool_resizes() {
+        set_global_threads(3);
+        assert_eq!(global_threads(), 3);
+        let pool = global();
+        assert_eq!(pool.threads(), 3);
+        set_global_threads(1);
+        assert_eq!(global_threads(), 1);
+        // the old handle keeps its pool
+        assert_eq!(pool.threads(), 3);
+        let out = pool.par_map(&[1, 2, 3], |&x: &i32| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+}

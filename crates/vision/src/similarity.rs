@@ -65,15 +65,25 @@ pub fn layout_distance(a: &[Feature], b: &[Feature], cfg: &SimilarityConfig) -> 
 }
 
 /// Pairwise distance matrix over per-layout feature sets (symmetrized,
-/// since Algorithm 2's greedy matching is not exactly symmetric).
+/// since Algorithm 2's greedy matching is not exactly symmetric). Rows of
+/// the upper triangle are computed on the global [`ldmo_par`] pool; each
+/// entry depends only on its own feature pair, so the matrix is identical
+/// for any thread count.
 pub fn distance_matrix(features: &[Vec<Feature>], cfg: &SimilarityConfig) -> Vec<Vec<f64>> {
     let n = features.len();
+    let rows: Vec<usize> = (0..n).collect();
+    let upper = ldmo_par::global().par_map(&rows, |&i| {
+        ((i + 1)..n)
+            .map(|j| {
+                0.5 * (layout_distance(&features[i], &features[j], cfg)
+                    + layout_distance(&features[j], &features[i], cfg))
+            })
+            .collect::<Vec<f64>>()
+    });
     let mut m = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = 0.5
-                * (layout_distance(&features[i], &features[j], cfg)
-                    + layout_distance(&features[j], &features[i], cfg));
+    for (i, row) in upper.into_iter().enumerate() {
+        for (off, d) in row.into_iter().enumerate() {
+            let j = i + 1 + off;
             m[i][j] = d;
             m[j][i] = d;
         }

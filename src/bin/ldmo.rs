@@ -23,6 +23,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let trace_out = ldmo::obs::trace_setup();
+    ldmo::par::cli_setup();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
@@ -59,7 +60,9 @@ fn print_usage() {
          \x20 flow      FILE [--predictor W.bin]       run the full LDMO flow\n\
          \x20 train     --pool N --out W.bin           train the CNN predictor\n\n\
          every subcommand accepts --trace-out FILE (or LDMO_TRACE=1) to write\n\
-         an ldmo-obs JSONL trace and print a span summary to stderr"
+         an ldmo-obs JSONL trace and print a span summary to stderr, and\n\
+         --threads N (or LDMO_THREADS=N) to size the worker pool; results\n\
+         are bit-identical for any thread count"
     );
 }
 

@@ -18,4 +18,5 @@ pub use ldmo_layout as layout;
 pub use ldmo_litho as litho;
 pub use ldmo_nn as nn;
 pub use ldmo_obs as obs;
+pub use ldmo_par as par;
 pub use ldmo_vision as vision;

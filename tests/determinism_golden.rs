@@ -9,11 +9,23 @@
 //! must be deliberate (and re-pinned with justification).
 
 use ldmo_core::baselines::suald_decompose;
+use ldmo_core::dataset::{build_dataset, DatasetConfig, SamplerKind};
+use ldmo_core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
+use ldmo_core::predictor::PrintabilityPredictor;
+use ldmo_core::sampling::SamplingConfig;
+use ldmo_core::trainer::{train, TrainConfig};
 use ldmo_ilt::{optimize, IltConfig};
 use ldmo_layout::cells;
+use ldmo_nn::layers::Layer;
+use std::sync::Mutex;
+
+/// The thread pool is process-global, so the threaded cross-checks (and
+/// the pinned test, which must see the serial path) serialize on this.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn testcase_1_outcome_is_pinned() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // Tracing must be an observer, not a participant: the pinned numbers
     // below must hold with the collector recording every iteration.
     ldmo::obs::enable();
@@ -47,4 +59,112 @@ fn testcase_1_outcome_is_pinned() {
     let t1: Vec<f64> = out.trajectory.iter().map(|s| s.l2).collect();
     let t2: Vec<f64> = again.trajectory.iter().map(|s| s.l2).collect();
     assert_eq!(t1, t2);
+}
+
+/// Runs `f` once on a 1-thread global pool and once on a 4-thread pool,
+/// with tracing enabled, and returns both results for bitwise comparison.
+/// This is the crate's parallelism contract: static chunking plus
+/// fixed-order reduction make thread count invisible in the output.
+fn serial_vs_threaded<R>(f: impl Fn() -> R) -> (R, R) {
+    ldmo::obs::enable();
+    ldmo::par::set_global_threads(1);
+    let serial = f();
+    ldmo::par::set_global_threads(4);
+    let threaded = f();
+    ldmo::par::set_global_threads(1);
+    (serial, threaded)
+}
+
+fn fast_dataset_inputs() -> (Vec<ldmo_layout::Layout>, SamplingConfig, DatasetConfig) {
+    let layouts: Vec<_> = ["NAND2_X1", "NOR2_X1", "AOI211_X1"]
+        .iter()
+        .map(|n| cells::cell(n).expect("known cell"))
+        .collect();
+    let scfg = SamplingConfig {
+        clusters: 2,
+        per_cluster: 1,
+        max_per_layout: 3,
+        ..SamplingConfig::default()
+    };
+    let mut dcfg = DatasetConfig::default();
+    dcfg.ilt.max_iterations = 4;
+    (layouts, scfg, dcfg)
+}
+
+#[test]
+fn dataset_labeling_is_thread_count_invariant() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (layouts, scfg, dcfg) = fast_dataset_inputs();
+    let (a, b) =
+        serial_vs_threaded(|| build_dataset(&layouts, &SamplerKind::Engineered, &scfg, &dcfg));
+    assert_eq!(a.provenance, b.provenance);
+    assert_eq!(a.images.len(), b.images.len());
+    for (x, y) in a.images.iter().zip(&b.images) {
+        assert_eq!(x, y);
+    }
+    let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&a.raw_scores), bits(&b.raw_scores));
+    assert_eq!(
+        a.labels.iter().map(|l| l.to_bits()).collect::<Vec<u32>>(),
+        b.labels.iter().map(|l| l.to_bits()).collect::<Vec<u32>>()
+    );
+}
+
+#[test]
+fn training_is_thread_count_invariant() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (layouts, scfg, dcfg) = fast_dataset_inputs();
+    ldmo::par::set_global_threads(1);
+    let dataset = build_dataset(&layouts, &SamplerKind::Engineered, &scfg, &dcfg);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        ..TrainConfig::default()
+    };
+    let (a, b) = serial_vs_threaded(|| {
+        let mut predictor = PrintabilityPredictor::lite(3);
+        let history = train(&mut predictor, &dataset, &cfg);
+        let mut weights: Vec<u32> = Vec::new();
+        predictor.network_mut().visit_params(&mut |p| {
+            weights.extend(p.value.as_slice().iter().map(|w| w.to_bits()));
+        });
+        (history, weights)
+    });
+    // conv batch parallelism reduces weight-gradient partials in sample
+    // order, so the trained weights — not just the loss curve — match
+    // bit for bit
+    assert_eq!(
+        a.0.epoch_mae
+            .iter()
+            .map(|m| m.to_bits())
+            .collect::<Vec<u32>>(),
+        b.0.epoch_mae
+            .iter()
+            .map(|m| m.to_bits())
+            .collect::<Vec<u32>>()
+    );
+    assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn flow_run_is_thread_count_invariant() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (_, layout) = cells::all_cells().into_iter().next().expect("cells");
+    let cfg = FlowConfig {
+        ilt: IltConfig {
+            max_iterations: 6,
+            ..IltConfig::default()
+        },
+        ..FlowConfig::default()
+    };
+    let (a, b) = serial_vs_threaded(|| {
+        // LdmoFlow::new captures the global pool, so build inside
+        LdmoFlow::new(cfg.clone(), SelectionStrategy::LithoProxy).run(&layout)
+    });
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.attempts, b.attempts);
+    assert_eq!(a.candidates, b.candidates);
+    assert_eq!(a.outcome.l2.to_bits(), b.outcome.l2.to_bits());
+    assert_eq!(a.outcome.epe.violations(), b.outcome.epe.violations());
+    assert_eq!(a.outcome.masks, b.outcome.masks);
 }

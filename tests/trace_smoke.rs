@@ -12,6 +12,12 @@ use ldmo_core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
 use ldmo_geom::Rect;
 use ldmo_ilt::IltConfig;
 use ldmo_layout::Layout;
+use std::sync::Mutex;
+
+/// The obs collector is process-global and `flush_jsonl` snapshots rather
+/// than drains, so the tests in this binary serialize on this lock and
+/// reset the collector before recording.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
 
 fn quad_layout(gap: i32) -> Layout {
     let pitch = 64 + gap;
@@ -28,7 +34,10 @@ fn quad_layout(gap: i32) -> Layout {
 
 #[test]
 fn flow_trace_has_stage_spans_and_convergence_records() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::reset();
     obs::enable();
+    ldmo::par::set_global_threads(1);
 
     let cfg = FlowConfig {
         ilt: IltConfig {
@@ -151,4 +160,91 @@ fn flow_trace_has_stage_spans_and_convergence_records() {
     let summary = obs::summary();
     assert!(summary.contains("flow.run"));
     assert!(summary.contains("litho.conv_passes"));
+}
+
+/// The same flow traced at `--threads 4`: worker threads record spans
+/// concurrently and adopt the dispatcher's span as their parent, so the
+/// JSONL trace must stay parseable and every parent id must resolve to a
+/// recorded span — no orphans floating at the root.
+#[test]
+fn flow_trace_stays_parseable_with_four_threads() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::reset();
+    obs::enable();
+    ldmo::par::set_global_threads(4);
+
+    let cfg = FlowConfig {
+        ilt: IltConfig {
+            max_iterations: 6,
+            ..IltConfig::default()
+        },
+        ..FlowConfig::default()
+    };
+    let mut flow = LdmoFlow::new(cfg, SelectionStrategy::LithoProxy);
+    let result = flow.run(&quad_layout(60));
+    ldmo::par::set_global_threads(1);
+    assert!(result.attempts >= 1);
+
+    let path = std::env::temp_dir().join(format!("ldmo_trace_mt_{}.jsonl", std::process::id()));
+    let lines_written = obs::flush_jsonl(&path).expect("flush trace");
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let _ = std::fs::remove_file(&path);
+    let lines = obs::json::parse_jsonl(&text).expect("trace must be valid JSONL under threads=4");
+    assert_eq!(lines.len(), lines_written);
+
+    let spans: Vec<&obs::json::Value> = lines
+        .iter()
+        .filter(|l| l.get("type").and_then(|v| v.as_str()) == Some("span"))
+        .collect();
+    let ids: std::collections::HashSet<u64> = spans
+        .iter()
+        .filter_map(|s| s.get("id").and_then(|v| v.as_f64()))
+        .map(|v| v as u64)
+        .collect();
+    for s in &spans {
+        if let Some(parent) = s.get("parent").and_then(|v| v.as_f64()) {
+            let parent = parent as u64;
+            assert!(
+                parent == 0 || ids.contains(&parent),
+                "span {:?} has dangling parent {parent}",
+                s.get("name")
+            );
+        }
+    }
+
+    // worker-side ilt.evaluate spans must hang off the flow.rank span
+    // through the adopted parent, not float at the root
+    let rank_id = spans
+        .iter()
+        .find(|s| s.get("name").and_then(|v| v.as_str()) == Some("flow.rank"))
+        .and_then(|s| s.get("id"))
+        .and_then(|v| v.as_f64())
+        .expect("flow.rank span id");
+    let evals: Vec<_> = spans
+        .iter()
+        .filter(|s| s.get("name").and_then(|v| v.as_str()) == Some("ilt.evaluate"))
+        .collect();
+    assert!(!evals.is_empty(), "ranking must record ilt.evaluate spans");
+    for e in &evals {
+        assert_eq!(
+            e.get("parent").and_then(|v| v.as_f64()),
+            Some(rank_id),
+            "ilt.evaluate must nest under flow.rank"
+        );
+    }
+
+    // the pool advertised itself on the root span and counted its tasks
+    let root = spans
+        .iter()
+        .find(|s| s.get("name").and_then(|v| v.as_str()) == Some("flow.run"))
+        .expect("flow.run span");
+    assert_eq!(root.get("pool").and_then(|v| v.as_f64()), Some(4.0));
+    let par_tasks = lines
+        .iter()
+        .filter(|l| l.get("type").and_then(|v| v.as_str()) == Some("counter"))
+        .find(|c| c.get("name").and_then(|v| v.as_str()) == Some("par.tasks"))
+        .and_then(|c| c.get("value"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    assert!(par_tasks > 0.0, "par.tasks counter must have fired");
 }
