@@ -8,7 +8,7 @@ use ldmo_core::predictor::PrintabilityPredictor;
 use ldmo_decomp::covering::covering_array;
 use ldmo_decomp::{generate_candidates, DecompConfig};
 use ldmo_geom::{Grid, Rect};
-use ldmo_ilt::{IltConfig, IltSession};
+use ldmo_ilt::{GuardPolicy, IltConfig, IltSession};
 use ldmo_layout::cells;
 use ldmo_litho::{
     aerial_image, combine_prints, detect_violations, measure_epe, resist_threshold, sigmoid,
@@ -283,9 +283,17 @@ fn bench_ilt(c: &mut Criterion) {
         b.iter(|| seed_iteration(&mut ps, &corridors, &target, &cfg, &bank))
     });
     // workspace iteration: identical per-iteration work, all buffers owned
-    // by the session (zero per-iteration allocations)
+    // by the session (zero per-iteration allocations). Guards are on by
+    // default; `step_guard_off` isolates their overhead (EXPERIMENTS.md
+    // pins it at <=2%).
     let mut session = IltSession::new(&layout, assignment, &cfg);
     group.bench_function("step_workspace", |b| b.iter(|| session.step_one()));
+    let unguarded_cfg = IltConfig {
+        guard: GuardPolicy::disabled(),
+        ..cfg.clone()
+    };
+    let mut unguarded = IltSession::new(&layout, assignment, &unguarded_cfg);
+    group.bench_function("step_guard_off", |b| b.iter(|| unguarded.step_one()));
     group.finish();
 }
 

@@ -10,9 +10,11 @@ use crate::sampling::{
 };
 use crate::score::{printability_score, Normalizer, ScoreWeights};
 use ldmo_geom::Grid;
-use ldmo_ilt::{IltConfig, IltContext};
+use ldmo_guard::{fault, penalty_score, DegradeReason};
+use ldmo_ilt::{IltConfig, IltContext, OutcomeHealth};
 use ldmo_layout::{Layout, MaskAssignment};
 use ldmo_nn::Tensor;
+use std::time::{Duration, Instant};
 
 /// Which sampling strategy assembles the training pairs.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +34,11 @@ pub struct DatasetConfig {
     pub ilt: IltConfig,
     /// Eq. 9 weights.
     pub weights: ScoreWeights,
+    /// Wall-clock deadline for labeling one sample. A sample that blows
+    /// it keeps its decomposition image but is labeled with the
+    /// deterministic [`ldmo_guard::penalty_score`] instead of stalling the
+    /// fan-out. `None` (the default) keeps labeling fully deterministic.
+    pub candidate_deadline: Option<Duration>,
 }
 
 /// A labeled training set of decomposition images.
@@ -174,13 +181,35 @@ pub fn build_dataset_pooled(
     // one kernel-bank expansion serves every labeling run; each worker
     // recycles one IltScratch across its chunk of samples
     let ctx = IltContext::new(&dcfg.ilt);
-    let labeled: Vec<(Grid, f64)> = pool.par_map_init(
-        &pairs,
+    let indexed: Vec<(usize, &(usize, MaskAssignment))> = pairs.iter().enumerate().collect();
+    // the catching fan isolates a panicking sample to its own slot; its
+    // image is rebuilt on the calling thread below and its label replaced
+    // by the deterministic worker-panic penalty
+    let labeled = pool.par_map_init_catching(
+        &indexed,
         || None::<ldmo_ilt::IltScratch>,
-        |scratch, (li, d)| {
+        |scratch, &(task, (li, d))| {
+            // the stall injection simulates a slow sample, so it must
+            // land inside the timed window
+            let started = Instant::now();
+            fault::apply_stall(task);
+            fault::maybe_panic(task);
             let layout = &layouts[*li];
             let outcome = ctx.optimize_reusing(layout, d, scratch);
-            let score = printability_score(&outcome, &dcfg.weights);
+            let score = match outcome.health {
+                OutcomeHealth::Degraded { reason } => {
+                    ldmo_obs::incr("guard.sample_penalized");
+                    penalty_score(reason)
+                }
+                _ if dcfg
+                    .candidate_deadline
+                    .is_some_and(|dl| started.elapsed() > dl) =>
+                {
+                    ldmo_obs::incr("guard.sample_penalized");
+                    penalty_score(DegradeReason::BudgetExhausted)
+                }
+                _ => printability_score(&outcome, &dcfg.weights),
+            };
             let img = layout
                 .decomposition_image(d, dcfg.ilt.litho.nm_per_px)
                 .expect("sampled assignments are valid");
@@ -189,9 +218,21 @@ pub fn build_dataset_pooled(
     );
     let mut images = Vec::with_capacity(labeled.len());
     let mut raw_scores = Vec::with_capacity(labeled.len());
-    for (img, score) in labeled {
-        images.push(img);
-        raw_scores.push(score);
+    for (slot, (li, d)) in labeled.into_iter().zip(&pairs) {
+        match slot {
+            Ok((img, score)) => {
+                images.push(img);
+                raw_scores.push(score);
+            }
+            Err(_) => {
+                ldmo_obs::incr("guard.sample_penalized");
+                let img = layouts[*li]
+                    .decomposition_image(d, dcfg.ilt.litho.nm_per_px)
+                    .expect("sampled assignments are valid");
+                images.push(img);
+                raw_scores.push(penalty_score(DegradeReason::WorkerPanic));
+            }
+        }
     }
     let provenance = pairs;
     assert!(!raw_scores.is_empty(), "sampling produced no pairs");

@@ -8,6 +8,7 @@
 use crate::predictor::PrintabilityPredictor;
 use crate::score::{printability_score, ScoreWeights};
 use ldmo_decomp::{generate_candidates, DecompConfig};
+use ldmo_guard::{fault, penalty_score, DegradeReason};
 use ldmo_ilt::{IltConfig, IltContext, IltOutcome, ViolationPolicy};
 use ldmo_layout::{Layout, MaskAssignment};
 use rand::rngs::StdRng;
@@ -58,6 +59,13 @@ pub struct FlowConfig {
     /// Maximum candidates attempted before giving up and completing the
     /// best-ranked candidate without the abort policy.
     pub max_attempts: usize,
+    /// Wall-clock deadline for ranking one candidate. A candidate that
+    /// blows it is not scored — it receives the deterministic
+    /// [`ldmo_guard::penalty_score`] for
+    /// [`DegradeReason::BudgetExhausted`], so one pathological candidate
+    /// cannot stall the whole selection. `None` (the default) keeps
+    /// ranking fully deterministic.
+    pub candidate_deadline: Option<Duration>,
 }
 
 impl Default for FlowConfig {
@@ -67,6 +75,7 @@ impl Default for FlowConfig {
             ilt: IltConfig::default(),
             weights: ScoreWeights::default(),
             max_attempts: 4,
+            candidate_deadline: None,
         }
     }
 }
@@ -266,16 +275,45 @@ impl LdmoFlow {
             SelectionStrategy::LithoProxy => {
                 // one forward simulation per candidate, fanned over the
                 // pool; scores are keyed by candidate index, so the sort
-                // below sees exactly the serial ordering
+                // below sees exactly the serial ordering. The catching fan
+                // converts a panicking candidate into a penalized slot
+                // instead of unwinding the whole ranking, and a candidate
+                // that blows the per-candidate deadline (or comes back
+                // degraded) gets the same deterministic penalty treatment.
                 let weights = self.cfg.weights;
-                let scores: Vec<f64> = self.pool.par_map_init(
-                    candidates,
+                let deadline = self.cfg.candidate_deadline;
+                let indexed: Vec<(usize, &MaskAssignment)> =
+                    candidates.iter().enumerate().collect();
+                let results = self.pool.par_map_init_catching(
+                    &indexed,
                     || None::<ldmo_ilt::IltScratch>,
-                    |scratch, c| {
+                    |scratch, &(i, c)| {
+                        // the stall injection simulates a slow candidate,
+                        // so it must land inside the timed window
+                        let started = Instant::now();
+                        fault::apply_stall(i);
+                        fault::maybe_panic(i);
                         let out = ctx.evaluate_unoptimized_reusing(layout, c, scratch);
+                        if let ldmo_ilt::OutcomeHealth::Degraded { reason } = out.health {
+                            ldmo_obs::incr("guard.candidate_penalized");
+                            return penalty_score(reason);
+                        }
+                        if deadline.is_some_and(|d| started.elapsed() > d) {
+                            ldmo_obs::incr("guard.candidate_penalized");
+                            return penalty_score(DegradeReason::BudgetExhausted);
+                        }
                         printability_score(&out, &weights)
                     },
                 );
+                let scores: Vec<f64> = results
+                    .into_iter()
+                    .map(|r| {
+                        r.unwrap_or_else(|_| {
+                            ldmo_obs::incr("guard.candidate_penalized");
+                            penalty_score(DegradeReason::WorkerPanic)
+                        })
+                    })
+                    .collect();
                 let mut scored: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
                 scored.sort_by(|a, b| a.1.total_cmp(&b.1));
                 scored.into_iter().map(|(i, _)| i).collect()

@@ -163,6 +163,13 @@ pub fn train(
         span.set("mae", f64::from(mae));
         span.set("lr", f64::from(adam.lr));
         span.set("batches", batches as f64);
+        // numeric-health guard: once the epoch loss goes non-finite the
+        // weights are poisoned and further epochs cannot recover — stop
+        // here so the caller keeps the history up to the blow-up
+        if !mae.is_finite() {
+            ldmo_obs::incr("guard.train_nonfinite");
+            break;
+        }
     }
     if let Some(mae) = history.final_mae() {
         run_span.set("final_mae", f64::from(mae));
@@ -277,6 +284,25 @@ mod tests {
         let h2 = train(&mut p2, &ds, &cfg);
         // Wall times differ between runs; the losses must not.
         assert_eq!(h1.epoch_mae, h2.epoch_mae);
+    }
+
+    #[test]
+    fn nonfinite_epoch_loss_stops_training_early() {
+        // an infinite learning rate blows the weights up within an epoch;
+        // the guard must stop the loop instead of burning the remaining
+        // epochs on NaN forward passes
+        let ds = synthetic_dataset(6);
+        let mut predictor = PrintabilityPredictor::lite(11);
+        let cfg = TrainConfig {
+            epochs: 8,
+            lr: f32::INFINITY,
+            grad_clip: f32::INFINITY,
+            ..TrainConfig::default()
+        };
+        let history = train(&mut predictor, &ds, &cfg);
+        assert!(history.epoch_mae.len() < 8, "guard did not stop training");
+        let last = history.final_mae().expect("at least one epoch ran");
+        assert!(!last.is_finite(), "stopped without a non-finite epoch");
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Per-candidate budgets with graceful degradation.
+//!
+//! A [`Budget`] bounds one candidate evaluation by iteration count and/or
+//! wall-clock time. The engine checks [`BudgetClock::exhausted`] once per
+//! iteration (two loads and a clock read — noise next to a 13 ms ILT
+//! step) and, when the budget runs out, stops early and marks the outcome
+//! [`crate::DegradeReason::BudgetExhausted`] instead of aborting the
+//! process or stalling the fan-out. The scoring layers then substitute the
+//! deterministic [`crate::penalty_score`], so rankings do not depend on
+//! *when* a wall-clock deadline happened to fire.
+
+use std::time::{Duration, Instant};
+
+/// Iteration/wall-clock bounds for one candidate evaluation. The default
+/// is unlimited, which keeps every existing golden bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Hard cap on iterations (on top of the engine's own
+    /// `max_iterations`); `None` = no cap.
+    pub max_iterations: Option<usize>,
+    /// Wall-clock deadline for the whole evaluation; `None` = no deadline.
+    pub max_wall: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits at all.
+    pub const UNLIMITED: Budget = Budget {
+        max_iterations: None,
+        max_wall: None,
+    };
+
+    /// Whether this budget can never exhaust.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_iterations.is_none() && self.max_wall.is_none()
+    }
+
+    /// Starts the wall clock for one evaluation.
+    pub fn start(&self) -> BudgetClock {
+        BudgetClock {
+            budget: *self,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// A running budget: the bounds plus the evaluation's start time.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetClock {
+    budget: Budget,
+    start: Instant,
+}
+
+impl BudgetClock {
+    /// Whether the budget is spent after `iterations_done` iterations.
+    pub fn exhausted(&self, iterations_done: usize) -> bool {
+        if let Some(max) = self.budget.max_iterations {
+            if iterations_done >= max {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.budget.max_wall {
+            if self.start.elapsed() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Wall-clock time since [`Budget::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let clock = Budget::UNLIMITED.start();
+        assert!(Budget::UNLIMITED.is_unlimited());
+        assert!(!clock.exhausted(0));
+        assert!(!clock.exhausted(usize::MAX));
+    }
+
+    #[test]
+    fn iteration_cap_exhausts_exactly_at_the_cap() {
+        let clock = Budget {
+            max_iterations: Some(3),
+            max_wall: None,
+        }
+        .start();
+        assert!(!clock.exhausted(2));
+        assert!(clock.exhausted(3));
+        assert!(clock.exhausted(4));
+    }
+
+    #[test]
+    fn zero_wall_deadline_exhausts_immediately() {
+        let budget = Budget {
+            max_iterations: None,
+            max_wall: Some(Duration::ZERO),
+        };
+        assert!(!budget.is_unlimited());
+        assert!(budget.start().exhausted(0));
+    }
+
+    #[test]
+    fn generous_wall_deadline_does_not_fire() {
+        let clock = Budget {
+            max_iterations: None,
+            max_wall: Some(Duration::from_secs(3600)),
+        }
+        .start();
+        assert!(!clock.exhausted(1_000_000));
+        assert!(clock.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! The workspace-wide typed error taxonomy.
+//!
+//! [`LdmoError`] replaces stringly-typed `Result<_, String>` plumbing and
+//! `unwrap()`s on parse/model/trace I/O paths. Every variant maps to a
+//! stable nonzero process exit code ([`LdmoError::exit_code`]) so shell
+//! pipelines and CI can distinguish "bad input file" from "corrupt model"
+//! without scraping stderr. The `From` impls that bridge the per-crate
+//! error types (`ParseLayoutError`, `NnError`) live next to those types,
+//! in `ldmo-layout` and `ldmo-nn`, to satisfy the orphan rule.
+
+use crate::DegradeReason;
+
+/// Typed top-level error of the `ldmo` workspace and CLI.
+#[derive(Debug)]
+pub enum LdmoError {
+    /// Bad command-line usage (missing argument, unknown flag value).
+    /// Exit code 2.
+    Usage {
+        /// What was wrong with the invocation.
+        detail: String,
+    },
+    /// Input parsing failed (layout files, assignments). Exit code 3.
+    Parse {
+        /// Which input failed.
+        context: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Model (de)serialization failed: bad magic, shape mismatch, corrupt
+    /// or non-finite weights. Exit code 4.
+    Model {
+        /// Which model artifact failed.
+        context: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Underlying file-system I/O failed. Exit code 5.
+    Io {
+        /// Which path or operation failed.
+        context: String,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// Trace/telemetry I/O failed. Exit code 6.
+    Trace {
+        /// Which trace artifact failed.
+        context: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// An `LDMO_FAULTS` fault spec was malformed. Exit code 7.
+    Fault {
+        /// What was wrong with the spec.
+        detail: String,
+    },
+    /// A computation finished but only in degraded form, and the caller
+    /// demanded a healthy result. Exit code 8.
+    Degraded {
+        /// What the computation was.
+        context: String,
+        /// Why it degraded.
+        reason: DegradeReason,
+    },
+}
+
+impl LdmoError {
+    /// Convenience constructor for usage errors.
+    pub fn usage(detail: impl Into<String>) -> Self {
+        LdmoError::Usage {
+            detail: detail.into(),
+        }
+    }
+
+    /// The stable process exit code of this error class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            LdmoError::Usage { .. } => 2,
+            LdmoError::Parse { .. } => 3,
+            LdmoError::Model { .. } => 4,
+            LdmoError::Io { .. } => 5,
+            LdmoError::Trace { .. } => 6,
+            LdmoError::Fault { .. } => 7,
+            LdmoError::Degraded { .. } => 8,
+        }
+    }
+
+    /// Replaces the error's context (the "which file/model" string) —
+    /// used by the CLI to attach the user-supplied path.
+    pub fn with_context(mut self, ctx: impl Into<String>) -> Self {
+        let ctx = ctx.into();
+        match &mut self {
+            LdmoError::Parse { context, .. }
+            | LdmoError::Model { context, .. }
+            | LdmoError::Io { context, .. }
+            | LdmoError::Trace { context, .. }
+            | LdmoError::Degraded { context, .. } => *context = ctx,
+            LdmoError::Usage { .. } | LdmoError::Fault { .. } => {}
+        }
+        self
+    }
+}
+
+impl std::fmt::Display for LdmoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LdmoError::Usage { detail } => write!(f, "{detail}"),
+            LdmoError::Parse { context, detail } => {
+                write!(f, "cannot parse {context}: {detail}")
+            }
+            LdmoError::Model { context, detail } => {
+                write!(f, "model error in {context}: {detail}")
+            }
+            LdmoError::Io { context, source } => write!(f, "I/O error on {context}: {source}"),
+            LdmoError::Trace { context, detail } => {
+                write!(f, "trace error on {context}: {detail}")
+            }
+            LdmoError::Fault { detail } => write!(f, "bad fault spec: {detail}"),
+            LdmoError::Degraded { context, reason } => {
+                write!(f, "{context} degraded: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LdmoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LdmoError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LdmoError {
+    fn from(source: std::io::Error) -> Self {
+        LdmoError::Io {
+            context: "<unknown path>".to_owned(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable_and_nonzero() {
+        let errors = [
+            LdmoError::usage("x"),
+            LdmoError::Parse {
+                context: "a".into(),
+                detail: "b".into(),
+            },
+            LdmoError::Model {
+                context: "a".into(),
+                detail: "b".into(),
+            },
+            LdmoError::Io {
+                context: "a".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "x"),
+            },
+            LdmoError::Trace {
+                context: "a".into(),
+                detail: "b".into(),
+            },
+            LdmoError::Fault { detail: "b".into() },
+            LdmoError::Degraded {
+                context: "a".into(),
+                reason: DegradeReason::BudgetExhausted,
+            },
+        ];
+        let codes: Vec<u8> = errors.iter().map(LdmoError::exit_code).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8]);
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn with_context_replaces_the_path() {
+        let e: LdmoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        let e = e.with_context("layout.lay");
+        assert!(e.to_string().contains("layout.lay"), "{e}");
+        // usage errors have no context slot; with_context is a no-op
+        let u = LdmoError::usage("missing FILE").with_context("ignored");
+        assert!(!u.to_string().contains("ignored"));
+    }
+
+    #[test]
+    fn display_mentions_the_reason() {
+        let e = LdmoError::Degraded {
+            context: "flow".into(),
+            reason: DegradeReason::WorkerPanic,
+        };
+        assert!(e.to_string().contains("worker panic"));
+    }
+}

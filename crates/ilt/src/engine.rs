@@ -8,6 +8,7 @@
 
 use crate::gradient::{forward_multi_into, l2_gradient_multi_into, PairForward};
 use ldmo_geom::Grid;
+use ldmo_guard::{fault, sampled_finite, Budget, DegradeReason, GuardPolicy, OutcomeHealth};
 use ldmo_layout::Layout;
 use ldmo_litho::{
     combine_double_pattern, detect_violations, measure_epe, simulate_print, EpeReport, KernelBank,
@@ -60,6 +61,14 @@ pub struct IltConfig {
     /// Whether to record per-iteration EPE (needed by Fig. 1(b); costs one
     /// EPE measurement per iteration).
     pub record_epe_trajectory: bool,
+    /// Numeric-health guard policy (DESIGN.md §11). Enabled by default;
+    /// with no rollback firing the trajectory is bit-identical to the
+    /// unguarded engine (the step-scale multiplier starts at exactly 1.0).
+    pub guard: GuardPolicy,
+    /// Per-run iteration/wall-clock budget. Unlimited by default; when it
+    /// exhausts, the run stops early and the outcome is marked
+    /// [`DegradeReason::BudgetExhausted`] instead of stalling callers.
+    pub budget: Budget,
 }
 
 impl Default for IltConfig {
@@ -74,6 +83,8 @@ impl Default for IltConfig {
             policy: ViolationPolicy::Run,
             litho: LithoConfig::default(),
             record_epe_trajectory: false,
+            guard: GuardPolicy::default(),
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -109,6 +120,13 @@ pub struct IltOutcome {
     pub aborted_at: Option<usize>,
     /// Iterations actually executed.
     pub iterations_run: usize,
+    /// Guard verdict: `Clean`, `RecoveredAfterRollback`, or
+    /// `Degraded { reason }`. Degraded outcomes carry the best finite
+    /// iterate found, but their score must be replaced by
+    /// [`ldmo_guard::penalty_score`].
+    pub health: OutcomeHealth,
+    /// How many divergence rollbacks fired during the run.
+    pub rollbacks: u32,
 }
 
 impl IltOutcome {
@@ -117,10 +135,10 @@ impl IltOutcome {
         self.epe.violations()
     }
 
-    /// Whether the run finished without a violation abort and the final
-    /// print is violation-free.
+    /// Whether the run finished without a violation abort, the final
+    /// print is violation-free, and no guard degraded the outcome.
     pub fn is_clean(&self) -> bool {
-        self.aborted_at.is_none() && self.violations.is_clean()
+        self.aborted_at.is_none() && self.violations.is_clean() && self.health.is_usable()
     }
 }
 
@@ -290,6 +308,15 @@ pub struct IltSession {
     grads: [Grid; 2],
     iterations_done: usize,
     last_l2: f64,
+    /// Best-L2 iterate seen so far (preallocated at construction; rollback
+    /// restores from it without allocating).
+    best_p: [Grid; 2],
+    best_l2: f64,
+    /// Multiplier on `cfg.step_size`; starts at exactly 1.0 (bit-identity
+    /// on healthy runs) and halves on every divergence rollback.
+    step_scale: f32,
+    rollbacks: u32,
+    degraded: Option<DegradeReason>,
 }
 
 impl IltSession {
@@ -359,6 +386,7 @@ impl IltSession {
                 grads: [Grid::zeros(w, h), Grid::zeros(w, h)],
             },
         };
+        let best_p = [p[0].clone(), p[1].clone()];
         IltSession {
             patterns: layout.patterns().to_vec(),
             cfg: cfg.clone(),
@@ -371,6 +399,11 @@ impl IltSession {
             grads,
             iterations_done: 0,
             last_l2: f64::NAN,
+            best_p,
+            best_l2: f64::INFINITY,
+            step_scale: 1.0,
+            rollbacks: 0,
+            degraded: None,
         }
     }
 
@@ -383,6 +416,53 @@ impl IltSession {
     /// (`NaN` before the first [`IltSession::step_one`]).
     pub fn last_l2(&self) -> f64 {
         self.last_l2
+    }
+
+    /// Divergence rollbacks fired so far.
+    pub fn rollbacks(&self) -> u32 {
+        self.rollbacks
+    }
+
+    /// Current guard verdict of this session (what the outcome's
+    /// [`IltOutcome::health`] will be if the run stopped now).
+    pub fn health(&self) -> OutcomeHealth {
+        match self.degraded {
+            Some(reason) => OutcomeHealth::Degraded { reason },
+            None if self.rollbacks > 0 => OutcomeHealth::RecoveredAfterRollback,
+            None => OutcomeHealth::Clean,
+        }
+    }
+
+    /// Latches the first degradation reason (later reasons do not
+    /// overwrite it — the first failure is the diagnosis).
+    fn mark_degraded(&mut self, reason: DegradeReason) {
+        if self.degraded.is_none() {
+            self.degraded = Some(reason);
+            ldmo_obs::incr("guard.degraded");
+        }
+    }
+
+    /// Divergence recovery: restore the best iterate, halve the step, and
+    /// account the skipped update as one iteration. No allocation — the
+    /// restore is a copy into the preallocated parameter grids.
+    fn rollback(&mut self, step_start: Option<std::time::Instant>, l2: f64) -> f64 {
+        self.p[0].copy_from(&self.best_p[0]);
+        self.p[1].copy_from(&self.best_p[1]);
+        self.step_scale *= 0.5;
+        self.rollbacks += 1;
+        ldmo_obs::incr("guard.rollback");
+        if self.rollbacks > self.cfg.guard.max_rollbacks {
+            self.mark_degraded(DegradeReason::DivergenceLimit);
+        }
+        self.iterations_done += 1;
+        if l2.is_finite() {
+            self.last_l2 = l2;
+        }
+        if let Some(start) = step_start {
+            ldmo_obs::convergence((self.iterations_done - 1) as u32, l2, f64::NAN, -1);
+            step_histogram().record_duration(start.elapsed());
+        }
+        l2
     }
 
     /// Runs one gradient iteration; returns the pre-update L2 error.
@@ -403,6 +483,24 @@ impl IltSession {
             &mut self.ws,
             &mut self.fwd,
         );
+        let l2 = self.fwd.l2;
+        let guard = self.cfg.guard;
+        if guard.enabled {
+            // Pre-update health: a non-finite objective, non-finite samples
+            // in the combined print, or an L2 blow-up past the divergence
+            // tolerance all mean the last update overshot — roll back.
+            let healthy = l2.is_finite()
+                && l2 <= self.best_l2 * (1.0 + guard.divergence_tolerance)
+                && sampled_finite(self.fwd.printed.as_slice(), guard.scan_stride);
+            if !healthy {
+                return self.rollback(step_start, l2);
+            }
+            if l2 < self.best_l2 {
+                self.best_p[0].copy_from(&self.p[0]);
+                self.best_p[1].copy_from(&self.p[1]);
+                self.best_l2 = l2;
+            }
+        }
         l2_gradient_multi_into(
             &self.fwd,
             &self.target,
@@ -412,16 +510,28 @@ impl IltSession {
             &mut self.ws,
             &mut self.grads,
         );
+        if fault::active() && fault::nan_grad_at(self.iterations_done) {
+            // Poison a stride-aligned slot so the sampled scan (offset 0)
+            // deterministically sees the injection.
+            self.grads[0].as_mut_slice()[0] = f32::NAN;
+        }
+        if guard.enabled
+            && !(sampled_finite(self.grads[0].as_slice(), guard.scan_stride)
+                && sampled_finite(self.grads[1].as_slice(), guard.scan_stride))
+        {
+            return self.rollback(step_start, l2);
+        }
+        let step = self.cfg.step_size * self.step_scale;
         let step_norm = match step_start {
-            Some(_) => update_norm(&self.grads, self.cfg.step_size),
+            Some(_) => update_norm(&self.grads, step),
             None => f64::NAN,
         };
-        descend(&mut self.p[0], &self.grads[0], self.cfg.step_size);
-        descend(&mut self.p[1], &self.grads[1], self.cfg.step_size);
+        descend(&mut self.p[0], &self.grads[0], step);
+        descend(&mut self.p[1], &self.grads[1], step);
         clamp_to_corridor(&mut self.p[0], &self.corridors[0]);
         clamp_to_corridor(&mut self.p[1], &self.corridors[1]);
         self.iterations_done += 1;
-        self.last_l2 = self.fwd.l2;
+        self.last_l2 = l2;
         if let Some(start) = step_start {
             ldmo_obs::convergence(
                 (self.iterations_done - 1) as u32,
@@ -462,8 +572,19 @@ impl IltSession {
         trajectory: Vec<IterationStats>,
         aborted_at: Option<usize>,
     ) -> IltOutcome {
-        let m1 = self.p[0].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        let m2 = self.p[1].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        // On guarded runs where a rollback fired, fall back to the best
+        // evaluated iterate unless the current one is provably no worse —
+        // this is what makes the outcome "the best finite iterate". Clean
+        // runs always use the current parameters (bit-identity).
+        let intervened = self.cfg.guard.enabled && (self.rollbacks > 0 || self.degraded.is_some());
+        let current_ok = self.last_l2.is_finite() && self.last_l2 <= self.best_l2;
+        let src = if intervened && self.best_l2.is_finite() && !current_ok {
+            &self.best_p
+        } else {
+            &self.p
+        };
+        let m1 = src[0].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let m2 = src[1].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
         let t1 = simulate_print(&m1, &self.bank, &self.cfg.litho);
         let t2 = simulate_print(&m2, &self.bank, &self.cfg.litho);
         let printed = combine_double_pattern(&t1, &t2);
@@ -484,6 +605,8 @@ impl IltSession {
             trajectory,
             aborted_at,
             iterations_run: self.iterations_done,
+            health: self.health(),
+            rollbacks: self.rollbacks,
         }
     }
 
@@ -531,7 +654,13 @@ fn run_session_recycling(
     let mut trajectory = Vec::with_capacity(cfg.max_iterations);
     let mut aborted_at = None;
     let mut last_check_epe: Option<usize> = None;
+    let clock = cfg.budget.start();
     for iter in 0..cfg.max_iterations {
+        if !cfg.budget.is_unlimited() && clock.exhausted(session.iterations_done) {
+            session.mark_degraded(DegradeReason::BudgetExhausted);
+            ldmo_obs::incr("guard.budget_exhausted");
+            break;
+        }
         let l2 = session.step_one();
         let epe_violations = cfg
             .record_epe_trajectory
@@ -594,6 +723,7 @@ fn run_session_recycling(
     );
     span.set("l2", outcome.l2);
     span.set("epe", outcome.epe_violations() as f64);
+    span.set("rollbacks", f64::from(outcome.rollbacks));
     outcome
 }
 
@@ -831,5 +961,127 @@ mod tests {
     fn wrong_assignment_length_panics() {
         let layout = two_contact_layout(160);
         let _ = optimize(&layout, &[0], &fast_cfg());
+    }
+
+    /// Serializes tests that install a global fault plan.
+    static FAULT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn guards_are_bit_identical_to_disabled_on_healthy_runs() {
+        let layout = two_contact_layout(120);
+        let cfg_on = IltConfig {
+            max_iterations: 8,
+            ..fast_cfg()
+        };
+        let cfg_off = IltConfig {
+            guard: GuardPolicy::disabled(),
+            ..cfg_on.clone()
+        };
+        let on = optimize(&layout, &[0, 1], &cfg_on);
+        let off = optimize(&layout, &[0, 1], &cfg_off);
+        assert_eq!(
+            on.l2.to_bits(),
+            off.l2.to_bits(),
+            "guards changed a healthy run"
+        );
+        assert_eq!(on.masks[0].as_slice(), off.masks[0].as_slice());
+        assert_eq!(on.health, OutcomeHealth::Clean);
+        assert_eq!(on.rollbacks, 0);
+    }
+
+    #[test]
+    fn nan_gradient_injection_rolls_back_and_recovers() {
+        let _g = FAULT_GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let layout = two_contact_layout(120);
+        let cfg = IltConfig {
+            max_iterations: 8,
+            ..fast_cfg()
+        };
+        fault::install(ldmo_guard::FaultPlan {
+            nan_grad_at: Some(3),
+            ..Default::default()
+        });
+        let out = optimize(&layout, &[0, 1], &cfg);
+        fault::clear();
+        assert_eq!(out.health, OutcomeHealth::RecoveredAfterRollback);
+        assert_eq!(out.rollbacks, 1);
+        assert!(out.l2.is_finite(), "recovered outcome must be finite");
+        assert!(out.masks[0].as_slice().iter().all(|v| v.is_finite()));
+        // and with the plan cleared the run is healthy again
+        let clean = optimize(&layout, &[0, 1], &cfg);
+        assert_eq!(clean.health, OutcomeHealth::Clean);
+    }
+
+    #[test]
+    fn iteration_budget_degrades_instead_of_running_forever() {
+        let layout = two_contact_layout(120);
+        let cfg = IltConfig {
+            max_iterations: 29,
+            budget: Budget {
+                max_iterations: Some(4),
+                max_wall: None,
+            },
+            ..fast_cfg()
+        };
+        let out = optimize(&layout, &[0, 1], &cfg);
+        assert_eq!(out.iterations_run, 4);
+        assert_eq!(
+            out.health,
+            OutcomeHealth::Degraded {
+                reason: DegradeReason::BudgetExhausted
+            }
+        );
+        assert!(!out.is_clean());
+        assert!(
+            out.l2.is_finite(),
+            "degraded outcome still carries an iterate"
+        );
+    }
+
+    #[test]
+    fn zero_wall_budget_degrades_before_the_first_iteration() {
+        let layout = two_contact_layout(160);
+        let cfg = IltConfig {
+            budget: Budget {
+                max_iterations: None,
+                max_wall: Some(std::time::Duration::ZERO),
+            },
+            ..fast_cfg()
+        };
+        let out = optimize(&layout, &[0, 1], &cfg);
+        assert_eq!(out.iterations_run, 0);
+        assert!(out.health.is_degraded());
+    }
+
+    #[test]
+    fn oscillating_candidate_terminates_at_its_deadline_with_a_penalty() {
+        // a crafted never-converging run: an absurd step size makes every
+        // update overshoot the corridor, so L2 oscillates instead of
+        // descending. The budget must cut it off, mark it Degraded, and
+        // the penalty for its reason must dwarf any healthy Eq. 9 score.
+        let layout = two_contact_layout(120);
+        let cfg = IltConfig {
+            step_size: 64.0,
+            max_iterations: 29,
+            budget: Budget {
+                max_iterations: Some(6),
+                max_wall: None,
+            },
+            ..fast_cfg()
+        };
+        let out = optimize(&layout, &[0, 1], &cfg);
+        assert!(out.iterations_run <= 6, "deadline did not cut the run");
+        assert!(
+            out.health.is_degraded(),
+            "never-converging run must degrade, got {:?}",
+            out.health
+        );
+        assert!(out.l2.is_finite(), "best iterate must still be usable");
+        let OutcomeHealth::Degraded { reason } = out.health else {
+            unreachable!("checked degraded above");
+        };
+        assert!(ldmo_guard::penalty_score(reason) > 1.0e12);
     }
 }

@@ -39,8 +39,11 @@ pub use engine::{
     evaluate_unoptimized, optimize, IltConfig, IltContext, IltOutcome, IltScratch, IltSession,
     IterationStats, ViolationPolicy,
 };
+// Guard vocabulary used in this crate's public API (IltConfig carries the
+// policy and budget; IltOutcome carries the health verdict).
 pub use gradient::{
     forward_multi, forward_multi_into, forward_pair, l2_gradient_multi, l2_gradient_multi_into,
     l2_gradient_pair, MultiForward, PairForward,
 };
+pub use ldmo_guard::{Budget, DegradeReason, GuardPolicy, OutcomeHealth};
 pub use multi::{greedy_coloring, optimize_multi, MultiIltOutcome};

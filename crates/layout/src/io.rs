@@ -58,6 +58,24 @@ impl From<std::io::Error> for ParseLayoutError {
     }
 }
 
+// Bridge into the workspace-wide taxonomy (here rather than in ldmo-guard
+// because of the orphan rule): missing files are I/O (exit 5), structural
+// problems are parse errors (exit 3).
+impl From<ParseLayoutError> for ldmo_guard::LdmoError {
+    fn from(e: ParseLayoutError) -> Self {
+        match e {
+            ParseLayoutError::Io(source) => ldmo_guard::LdmoError::Io {
+                context: "layout file".to_owned(),
+                source,
+            },
+            malformed => ldmo_guard::LdmoError::Parse {
+                context: "layout file".to_owned(),
+                detail: malformed.to_string(),
+            },
+        }
+    }
+}
+
 /// Serializes a layout into the text format.
 pub fn to_string(layout: &Layout) -> String {
     let w = layout.window();
@@ -234,6 +252,28 @@ mod tests {
         let err = from_str("ldmo-layout v1\nwindow 0 0 10 10\nwindow 0 0 20 20\n")
             .expect_err("duplicate");
         assert!(matches!(err, ParseLayoutError::Malformed { line: 3, .. }));
+    }
+
+    #[test]
+    fn truncated_file_rejected_with_context() {
+        // a file cut off mid-line must fail cleanly, not panic
+        let text = to_string(&sample());
+        let truncated = &text[..text.len() - 7];
+        let err = from_str(truncated).expect_err("truncated");
+        let bridged: ldmo_guard::LdmoError = err.into();
+        assert_eq!(bridged.exit_code(), 3);
+        assert!(bridged.to_string().contains("layout file"), "{bridged}");
+    }
+
+    #[test]
+    fn errors_bridge_into_the_workspace_taxonomy() {
+        let malformed: ldmo_guard::LdmoError =
+            from_str("not a layout\n").expect_err("bad magic").into();
+        assert_eq!(malformed.exit_code(), 3);
+        let io: ldmo_guard::LdmoError = load("/nonexistent/ldmo-layout-test.lay")
+            .expect_err("missing file")
+            .into();
+        assert_eq!(io.exit_code(), 5);
     }
 
     #[test]

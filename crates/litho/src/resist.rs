@@ -138,12 +138,65 @@ mod tests {
         let _ = combine_double_pattern(&a, &b);
     }
 
+    #[test]
+    fn sigmoid_handles_subnormals_and_infinities() {
+        let smallest_subnormal = f32::from_bits(1);
+        for &x in &[
+            smallest_subnormal,
+            -smallest_subnormal,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            0.0,
+            -0.0,
+        ] {
+            let s = sigmoid(x);
+            assert!(
+                s.is_finite() && (0.0..=1.0).contains(&s),
+                "sigmoid({x:e}) = {s}"
+            );
+        }
+        assert!((sigmoid(smallest_subnormal) - 0.5).abs() < 1e-6);
+        assert_eq!(sigmoid(f32::INFINITY), 1.0);
+        assert_eq!(sigmoid(f32::NEG_INFINITY), 0.0);
+    }
+
     proptest! {
         #[test]
         fn sigmoid_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
             if a < b {
                 prop_assert!(sigmoid(a) <= sigmoid(b));
             }
+        }
+
+        // bit-pattern strategy: uniformly drawn u32s reinterpreted as f32
+        // cover the whole value space — normals, subnormals, zeros and
+        // infinities — which a lerp-based float range never reaches
+        #[test]
+        fn sigmoid_finite_and_bounded_on_every_bit_pattern(bits in 0u32..=u32::MAX) {
+            let x = f32::from_bits(bits);
+            if x.is_nan() {
+                return Ok(());
+            }
+            let s = sigmoid(x);
+            prop_assert!(s.is_finite(), "sigmoid({x:e}) = {s}");
+            prop_assert!((0.0..=1.0).contains(&s), "sigmoid({x:e}) = {s}");
+        }
+
+        #[test]
+        fn sigmoid_monotone_across_the_full_range(ba in 0u32..=u32::MAX,
+                                                  bb in 0u32..=u32::MAX) {
+            let a = f32::from_bits(ba);
+            let b = f32::from_bits(bb);
+            if a.is_nan() || b.is_nan() {
+                return Ok(());
+            }
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                sigmoid(lo) <= sigmoid(hi),
+                "sigmoid({lo:e}) > sigmoid({hi:e})"
+            );
         }
 
         #[test]

@@ -52,6 +52,12 @@ pub enum NnError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// The checkpoint parsed but its payload is unusable (non-finite
+    /// weights) — loading it would poison every forward pass.
+    Corrupt {
+        /// Which value was bad.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for NnError {
@@ -61,6 +67,7 @@ impl std::fmt::Display for NnError {
             NnError::ShapeMismatch { detail } => {
                 write!(f, "checkpoint does not match network: {detail}")
             }
+            NnError::Corrupt { detail } => write!(f, "corrupt checkpoint: {detail}"),
         }
     }
 }
@@ -69,7 +76,7 @@ impl std::error::Error for NnError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NnError::Io(e) => Some(e),
-            NnError::ShapeMismatch { .. } => None,
+            NnError::ShapeMismatch { .. } | NnError::Corrupt { .. } => None,
         }
     }
 }
@@ -77,5 +84,23 @@ impl std::error::Error for NnError {
 impl From<std::io::Error> for NnError {
     fn from(e: std::io::Error) -> Self {
         NnError::Io(e)
+    }
+}
+
+// Bridge into the workspace-wide taxonomy (here rather than in ldmo-guard
+// because of the orphan rule): missing files are I/O, everything else is a
+// model error with exit code 4.
+impl From<NnError> for ldmo_guard::LdmoError {
+    fn from(e: NnError) -> Self {
+        match e {
+            NnError::Io(source) => ldmo_guard::LdmoError::Io {
+                context: "model checkpoint".to_owned(),
+                source,
+            },
+            other => ldmo_guard::LdmoError::Model {
+                context: "model checkpoint".to_owned(),
+                detail: other.to_string(),
+            },
+        }
     }
 }

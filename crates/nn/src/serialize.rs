@@ -70,13 +70,20 @@ pub fn load_from<R: Read>(net: &mut dyn Layer, mut reader: R) -> Result<(), NnEr
     reader.read_exact(&mut u32buf)?;
     let count = u32::from_le_bytes(u32buf) as usize;
     let mut arrays = Vec::with_capacity(count);
-    for _ in 0..count {
+    for ai in 0..count {
         reader.read_exact(&mut u32buf)?;
         let len = u32::from_le_bytes(u32buf) as usize;
         let mut arr = vec![0.0f32; len];
         for v in &mut arr {
             reader.read_exact(&mut u32buf)?;
             *v = f32::from_le_bytes(u32buf);
+        }
+        // reject non-finite weights before anything touches the network —
+        // one NaN here would poison every subsequent forward pass
+        if let Some(bad) = arr.iter().position(|v| !v.is_finite()) {
+            return Err(NnError::Corrupt {
+                detail: format!("array {ai}, value {bad} is non-finite"),
+            });
         }
         arrays.push(arr);
     }
@@ -137,8 +144,13 @@ pub fn load_from<R: Read>(net: &mut dyn Layer, mut reader: R) -> Result<(), NnEr
 ///
 /// See [`load_from`].
 pub fn load(net: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), NnError> {
-    let file = std::fs::File::open(path)?;
-    load_from(net, std::io::BufReader::new(file))
+    let mut bytes = std::fs::read(path)?;
+    // chaos harness: an installed model fault corrupts the bytes between
+    // read and parse (one relaxed load when no plan is installed)
+    if let Some(model_fault) = ldmo_guard::fault::corrupt_model() {
+        ldmo_guard::fault::corrupt_bytes(&mut bytes, model_fault);
+    }
+    load_from(net, bytes.as_slice())
 }
 
 #[cfg(test)]
@@ -207,5 +219,30 @@ mod tests {
             load_from(&mut net, buf.as_slice()),
             Err(NnError::Io(_))
         ));
+    }
+
+    #[test]
+    fn nan_weight_is_rejected_as_corrupt() {
+        let mut net = sample_net(1);
+        let mut buf = Vec::new();
+        save_to(&mut net, &mut buf).expect("save");
+        // poison the first stored weight via the shared corruption helper
+        ldmo_guard::fault::corrupt_bytes(&mut buf, ldmo_guard::ModelFault::NanWeight { index: 0 });
+        let mut fresh = sample_net(7);
+        let x = Tensor::from_vec(vec![1, 4], vec![0.1, -0.2, 0.3, 0.4]);
+        let before = fresh.forward(&x, false).as_slice().to_vec();
+        let err = load_from(&mut fresh, buf.as_slice());
+        assert!(matches!(err, Err(NnError::Corrupt { .. })), "{err:?}");
+        // the rejected load must not have touched the network
+        assert_eq!(fresh.forward(&x, false).as_slice(), &before[..]);
+    }
+
+    #[test]
+    fn errors_bridge_into_the_workspace_taxonomy() {
+        let corrupt: ldmo_guard::LdmoError = NnError::Corrupt { detail: "x".into() }.into();
+        assert_eq!(corrupt.exit_code(), 4);
+        let io: ldmo_guard::LdmoError =
+            NnError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).into();
+        assert_eq!(io.exit_code(), 5);
     }
 }

@@ -61,6 +61,16 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Increments the counter `name` when the collector is enabled; with the
+/// collector disabled the cost is one relaxed atomic load. Convenience for
+/// the common `if enabled() { counter(name).incr() }` pattern at guard and
+/// recovery sites.
+pub fn incr(name: &'static str) {
+    if enabled() {
+        counter(name).incr();
+    }
+}
+
 /// Turns the global collector on (idempotent).
 ///
 /// All collector storage — the convergence-record buffer in particular —

@@ -365,6 +365,102 @@ impl ThreadPool {
 }
 
 // ---------------------------------------------------------------------------
+// Panic-catching variants
+// ---------------------------------------------------------------------------
+
+/// A worker panic caught by [`ThreadPool::par_map_catching`] /
+/// [`ThreadPool::par_map_init_catching`]: the item's slot carries this
+/// instead of unwinding the whole fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// Rendered panic message (best-effort downcast of the payload).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+impl ThreadPool {
+    /// [`ThreadPool::par_map`], but a panicking item yields
+    /// `Err(TaskPanic)` in its slot instead of unwinding the region.
+    /// All other items still complete, in order, bit-identically.
+    pub fn par_map_catching<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_init_catching(items, || (), move |(), item| f(item))
+    }
+
+    /// [`ThreadPool::par_map_init`] with per-item panic isolation, for
+    /// fan-outs that must degrade one slot instead of aborting the run
+    /// (candidate ranking, dataset labeling). After a caught panic the
+    /// worker's scratch state is rebuilt with `init` — a panic can leave
+    /// it half-written, and reusing it would let one bad item corrupt its
+    /// chunk's remaining results.
+    pub fn par_map_init_catching<T, S, R, I, F>(
+        &self,
+        items: &[T],
+        init: I,
+        f: F,
+    ) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
+        let base = items.as_ptr() as usize;
+        let init = &init;
+        let f = &f;
+        self.par_map_init(
+            items,
+            || Some(init()),
+            move |state, item| {
+                // recover the item index from its address (static chunking
+                // hands `f` items of the original slice by reference)
+                let index = if size_of::<T>() == 0 {
+                    0
+                } else {
+                    (std::ptr::from_ref(item) as usize - base) / size_of::<T>()
+                };
+                if state.is_none() {
+                    *state = Some(init());
+                }
+                let scratch = state.as_mut().expect("replenished above");
+                match panic::catch_unwind(AssertUnwindSafe(|| f(scratch, item))) {
+                    Ok(value) => Ok(value),
+                    Err(payload) => {
+                        *state = None;
+                        ldmo_obs::incr("par.task_panics");
+                        Err(TaskPanic {
+                            index,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            },
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The process-global pool
 // ---------------------------------------------------------------------------
 
@@ -547,6 +643,52 @@ mod tests {
             pool.par_map(&inner, |&j| i * 10 + j).iter().sum::<usize>()
         });
         assert_eq!(out[2], 20 + 21 + 22 + 23);
+    }
+
+    #[test]
+    fn catching_map_isolates_the_panicking_slot() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.par_map_catching(&items, |&i| {
+                assert!(i != 40, "injected failure");
+                i * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, slot) in out.iter().enumerate() {
+                if i == 40 {
+                    let err = slot.as_ref().expect_err("slot 40 must carry the panic");
+                    assert_eq!(err.index, 40);
+                    assert!(err.message.contains("injected failure"), "{err}");
+                } else {
+                    assert_eq!(*slot, Ok(i * 2), "slot {i} at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catching_map_rebuilds_scratch_after_a_panic() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..16).collect();
+        let pool = ThreadPool::new(1); // serial path: one chunk, one state
+        let out = pool.par_map_init_catching(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |seen, &i| {
+                *seen += 1;
+                assert!(i != 5, "injected failure");
+                (i, *seen)
+            },
+        );
+        assert!(out[5].is_err());
+        // item 6 must see a fresh state (count restarts at 1), proving the
+        // possibly-corrupt scratch was thrown away
+        assert_eq!(out[6], Ok((6, 1)));
+        assert_eq!(inits.load(Ordering::SeqCst), 2, "initial + one rebuild");
     }
 
     #[test]

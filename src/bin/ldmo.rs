@@ -8,6 +8,10 @@
 //! ldmo flow layout.lay [--predictor w.bin]            run the full Fig. 2 flow
 //! ldmo train --pool 24 --out w.bin                    train the CNN predictor
 //! ```
+//!
+//! Errors exit with the stable codes of [`LdmoError::exit_code`]:
+//! 2 usage, 3 parse, 4 model, 5 I/O, 6 trace, 7 bad `LDMO_FAULTS` spec,
+//! 8 degraded result.
 
 use ldmo::core::dataset::{build_dataset, DatasetConfig, SamplerKind};
 use ldmo::core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
@@ -15,17 +19,42 @@ use ldmo::core::predictor::PrintabilityPredictor;
 use ldmo::core::sampling::SamplingConfig;
 use ldmo::core::trainer::{train, TrainConfig};
 use ldmo::decomp::{generate_candidates, is_dpl_compatible, DecompConfig};
+use ldmo::guard::LdmoError;
 use ldmo::ilt::{optimize, optimize_multi, IltConfig};
 use ldmo::layout::classify::{classify_patterns, ClassifyConfig};
 use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
 use ldmo::layout::{io as layout_io, Layout};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let trace_out = ldmo::obs::trace_setup();
     ldmo::par::cli_setup();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let result = match run(&args) {
+        // a clean run must also land its trace — a failed trace write is
+        // a real error (exit 6), not a stderr footnote
+        Ok(()) => finish_trace(trace_out.as_deref()),
+        Err(e) => {
+            // best-effort flush so a failing run still leaves its trace
+            ldmo::obs::trace_finish(trace_out.as_deref());
+            Err(e)
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), LdmoError> {
+    // install any LDMO_FAULTS chaos plan before work starts; a malformed
+    // spec is a hard error (exit 7), not something to silently ignore
+    ldmo::guard::fault::init_from_env()?;
+    match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("decompose") => cmd_decompose(&args[1..]),
@@ -36,16 +65,23 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand '{other}' (try 'ldmo help')")),
-    };
-    ldmo::obs::trace_finish(trace_out.as_deref());
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
-        }
+        Some(other) => Err(LdmoError::usage(format!(
+            "unknown subcommand '{other}' (try 'ldmo help')"
+        ))),
     }
+}
+
+/// Strict end-of-run trace flush: unlike [`ldmo::obs::trace_finish`] this
+/// surfaces a failed JSONL write as [`LdmoError::Trace`] (exit 6).
+fn finish_trace(out: Option<&Path>) -> Result<(), LdmoError> {
+    let Some(path) = out else { return Ok(()) };
+    let lines = ldmo::obs::flush_jsonl(path).map_err(|e| LdmoError::Trace {
+        context: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    eprintln!("[trace] {lines} events written to {}", path.display());
+    eprint!("{}", ldmo::obs::summary());
+    Ok(())
 }
 
 fn print_usage() {
@@ -62,7 +98,10 @@ fn print_usage() {
          every subcommand accepts --trace-out FILE (or LDMO_TRACE=1) to write\n\
          an ldmo-obs JSONL trace and print a span summary to stderr, and\n\
          --threads N (or LDMO_THREADS=N) to size the worker pool; results\n\
-         are bit-identical for any thread count"
+         are bit-identical for any thread count\n\n\
+         LDMO_FAULTS=SPEC installs a deterministic fault-injection plan\n\
+         (see DESIGN.md §11); exit codes: 2 usage, 3 parse, 4 model, 5 I/O,\n\
+         6 trace, 7 bad fault spec, 8 degraded"
     );
 }
 
@@ -88,28 +127,36 @@ fn split_options(args: &[String]) -> (Vec<&str>, std::collections::HashMap<&str,
     (positional, options)
 }
 
-fn load_layout(path: &str) -> Result<Layout, String> {
-    layout_io::load(path).map_err(|e| format!("cannot read layout '{path}': {e}"))
+fn load_layout(path: &str) -> Result<Layout, LdmoError> {
+    layout_io::load(path).map_err(|e| LdmoError::from(e).with_context(format!("layout '{path}'")))
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn io_error(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> LdmoError {
+    let context = context.into();
+    move |source| LdmoError::Io { context, source }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), LdmoError> {
     let (_, opts) = split_options(args);
     let seed: u64 = opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
     let count: usize = opts.get("count").and_then(|s| s.parse().ok()).unwrap_or(1);
     let out = opts.get("out").copied().unwrap_or(".");
-    std::fs::create_dir_all(out).map_err(|e| format!("cannot create '{out}': {e}"))?;
+    std::fs::create_dir_all(out).map_err(io_error(format!("directory '{out}'")))?;
     let mut generator = LayoutGenerator::new(GeneratorConfig::default(), seed);
     for (i, layout) in generator.generate_dataset(count).into_iter().enumerate() {
         let path = format!("{out}/layout_{seed}_{i}.lay");
-        layout_io::save(&layout, &path).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        layout_io::save(&layout, &path)
+            .map_err(|e| LdmoError::from(e).with_context(format!("layout '{path}'")))?;
         println!("wrote {path} ({} patterns)", layout.len());
     }
     Ok(())
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn cmd_info(args: &[String]) -> Result<(), LdmoError> {
     let (pos, _) = split_options(args);
-    let path = pos.first().ok_or("usage: ldmo info FILE")?;
+    let path = pos
+        .first()
+        .ok_or(LdmoError::usage("usage: ldmo info FILE"))?;
     let layout = load_layout(path)?;
     let ccfg = ClassifyConfig::default();
     println!("window:   {}", layout.window());
@@ -128,9 +175,11 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decompose(args: &[String]) -> Result<(), String> {
+fn cmd_decompose(args: &[String]) -> Result<(), LdmoError> {
     let (pos, _) = split_options(args);
-    let path = pos.first().ok_or("usage: ldmo decompose FILE")?;
+    let path = pos
+        .first()
+        .ok_or(LdmoError::usage("usage: ldmo decompose FILE"))?;
     let layout = load_layout(path)?;
     for (i, c) in generate_candidates(&layout, &DecompConfig::default())
         .iter()
@@ -142,32 +191,32 @@ fn cmd_decompose(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_assignment(text: &str) -> Result<Vec<u8>, String> {
+fn parse_assignment(text: &str) -> Result<Vec<u8>, LdmoError> {
     text.split(',')
         .map(|t| {
-            t.trim()
-                .parse::<u8>()
-                .map_err(|_| format!("'{t}' is not a mask index"))
+            t.trim().parse::<u8>().map_err(|_| LdmoError::Parse {
+                context: "assignment".to_owned(),
+                detail: format!("'{t}' is not a mask index"),
+            })
         })
         .collect()
 }
 
-fn cmd_optimize(args: &[String]) -> Result<(), String> {
+fn cmd_optimize(args: &[String]) -> Result<(), LdmoError> {
     let (pos, opts) = split_options(args);
-    let path = pos
-        .first()
-        .ok_or("usage: ldmo optimize FILE --assignment 0,1,..")?;
+    let path = pos.first().ok_or(LdmoError::usage(
+        "usage: ldmo optimize FILE --assignment 0,1,..",
+    ))?;
     let layout = load_layout(path)?;
-    let assignment = parse_assignment(
-        opts.get("assignment")
-            .ok_or("missing --assignment (e.g. --assignment 0,1,0)")?,
-    )?;
+    let assignment = parse_assignment(opts.get("assignment").ok_or(LdmoError::usage(
+        "missing --assignment (e.g. --assignment 0,1,0)",
+    ))?)?;
     if assignment.len() != layout.len() {
-        return Err(format!(
+        return Err(LdmoError::usage(format!(
             "assignment covers {} patterns, layout has {}",
             assignment.len(),
             layout.len()
-        ));
+        )));
     }
     let masks: usize = opts.get("masks").and_then(|s| s.parse().ok()).unwrap_or(2);
     let cfg = IltConfig::default();
@@ -194,29 +243,31 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     println!("print violations: {violations}");
     println!("L2 error:         {l2:.1}");
     if let Some(prefix) = opts.get("out") {
-        std::fs::write(format!("{prefix}_printed.pgm"), printed.to_pgm())
-            .map_err(|e| format!("cannot write printed image: {e}"))?;
+        let printed_path = format!("{prefix}_printed.pgm");
+        std::fs::write(&printed_path, printed.to_pgm())
+            .map_err(io_error(format!("printed image '{printed_path}'")))?;
         for (i, m) in mask_grids.iter().enumerate() {
-            std::fs::write(format!("{prefix}_mask{i}.pgm"), m.to_pgm())
-                .map_err(|e| format!("cannot write mask image: {e}"))?;
+            let mask_path = format!("{prefix}_mask{i}.pgm");
+            std::fs::write(&mask_path, m.to_pgm())
+                .map_err(io_error(format!("mask image '{mask_path}'")))?;
         }
         println!("images written with prefix {prefix}_");
     }
     Ok(())
 }
 
-fn cmd_flow(args: &[String]) -> Result<(), String> {
+fn cmd_flow(args: &[String]) -> Result<(), LdmoError> {
     let (pos, opts) = split_options(args);
-    let path = pos
-        .first()
-        .ok_or("usage: ldmo flow FILE [--predictor W.bin]")?;
+    let path = pos.first().ok_or(LdmoError::usage(
+        "usage: ldmo flow FILE [--predictor W.bin]",
+    ))?;
     let layout = load_layout(path)?;
     let strategy = match opts.get("predictor") {
         Some(weights) => {
             let mut predictor = PrintabilityPredictor::lite(7);
             predictor
                 .load(weights)
-                .map_err(|e| format!("cannot load predictor '{weights}': {e}"))?;
+                .map_err(|e| LdmoError::from(e).with_context(format!("predictor '{weights}'")))?;
             SelectionStrategy::Cnn(Box::new(predictor))
         }
         None => SelectionStrategy::LithoProxy,
@@ -234,6 +285,7 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
         "print violations:       {}",
         result.outcome.violations.count()
     );
+    println!("health:                 {:?}", result.outcome.health);
     println!(
         "time: {:.2}s selection + {:.2}s optimization",
         result.timing.decomposition_selection.as_secs_f64(),
@@ -242,7 +294,7 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String]) -> Result<(), LdmoError> {
     let (_, opts) = split_options(args);
     let pool: usize = opts.get("pool").and_then(|s| s.parse().ok()).unwrap_or(24);
     let out = opts.get("out").copied().unwrap_or("predictor.bin");
@@ -265,7 +317,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     );
     predictor
         .save(out)
-        .map_err(|e| format!("cannot save weights to '{out}': {e}"))?;
+        .map_err(|e| LdmoError::from(e).with_context(format!("weights '{out}'")))?;
     println!("weights saved to {out}");
     Ok(())
 }

@@ -13,6 +13,7 @@
 pub use ldmo_core as core;
 pub use ldmo_decomp as decomp;
 pub use ldmo_geom as geom;
+pub use ldmo_guard as guard;
 pub use ldmo_ilt as ilt;
 pub use ldmo_layout as layout;
 pub use ldmo_litho as litho;

@@ -1,0 +1,293 @@
+//! Chaos tests: every deterministic fault the `ldmo-guard` harness can
+//! inject must be recovered from — a fault degrades one candidate, sample
+//! or load, never the whole run — and with guards enabled but no faults
+//! firing, the engine stays bit-identical to the pinned golden at any
+//! thread count.
+//!
+//! The fault plan and the thread pool are process-global, so every test
+//! here serializes on one lock and clears the plan before and after.
+
+use ldmo::guard::fault::{self, FaultPlan};
+use ldmo::guard::{Budget, DegradeReason, ModelFault, OutcomeHealth};
+use ldmo_core::baselines::suald_decompose;
+use ldmo_core::dataset::{build_dataset, DatasetConfig, SamplerKind};
+use ldmo_core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
+use ldmo_core::predictor::PrintabilityPredictor;
+use ldmo_core::sampling::SamplingConfig;
+use ldmo_decomp::generate_candidates;
+use ldmo_ilt::{optimize, IltConfig, IltContext};
+use ldmo_layout::cells;
+use ldmo_nn::NnError;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes every test in this file: the installed fault plan and the
+/// global thread pool are process-wide state.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+struct ClearedPlan<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+/// Takes the lock and guarantees a clean plan on entry *and* exit, even
+/// when the test body panics.
+fn chaos_guard() -> ClearedPlan<'static> {
+    let lock = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    ClearedPlan { _lock: lock }
+}
+
+impl Drop for ClearedPlan<'_> {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
+
+fn inv_x1() -> (ldmo_layout::Layout, Vec<u8>) {
+    let (name, layout) = cells::all_cells().into_iter().next().expect("cells");
+    assert_eq!(name, "INV_X1");
+    let assignment = suald_decompose(&layout);
+    (layout, assignment)
+}
+
+const GOLDEN_L2: &str = "8.970e2";
+
+#[test]
+fn nan_gradient_injection_recovers_and_post_clear_runs_match_the_golden() {
+    let _g = chaos_guard();
+    let (layout, assignment) = inv_x1();
+    let cfg = IltConfig::default();
+
+    fault::install(FaultPlan {
+        nan_grad_at: Some(3),
+        ..FaultPlan::default()
+    });
+    let poisoned = optimize(&layout, &assignment, &cfg);
+    assert_eq!(
+        poisoned.health,
+        OutcomeHealth::RecoveredAfterRollback,
+        "injected NaN gradient must trigger rollback recovery"
+    );
+    assert!(poisoned.rollbacks >= 1);
+    assert!(poisoned.l2.is_finite(), "recovered L2 must be finite");
+    assert!(poisoned.is_clean() || poisoned.health.is_usable());
+
+    // once the plan is cleared the engine is back to the pinned golden —
+    // fault injection leaves no residue in process state
+    fault::clear();
+    let clean = optimize(&layout, &assignment, &cfg);
+    assert_eq!(clean.health, OutcomeHealth::Clean);
+    assert_eq!(clean.rollbacks, 0);
+    assert_eq!(format!("{:.3e}", clean.l2), GOLDEN_L2);
+}
+
+#[test]
+fn guards_with_no_faults_match_the_golden_at_every_thread_count() {
+    let _g = chaos_guard();
+    let (layout, assignment) = inv_x1();
+    let cfg = IltConfig::default();
+    assert!(cfg.guard.enabled, "guards are on by default");
+    for threads in [1, 4] {
+        ldmo::par::set_global_threads(threads);
+        let out = optimize(&layout, &assignment, &cfg);
+        assert_eq!(
+            format!("{:.3e}", out.l2),
+            GOLDEN_L2,
+            "guards-on run drifted from the golden at {threads} threads"
+        );
+        assert_eq!(out.health, OutcomeHealth::Clean);
+        assert_eq!(out.rollbacks, 0);
+    }
+    ldmo::par::set_global_threads(1);
+}
+
+#[test]
+fn worker_panic_penalizes_one_candidate_not_the_ranking() {
+    let _g = chaos_guard();
+    let (layout, _) = inv_x1();
+    let mut cfg = FlowConfig::default();
+    cfg.ilt.max_iterations = 6;
+    let candidates = generate_candidates(&layout, &cfg.decomp);
+    assert!(candidates.len() >= 2, "need at least two candidates");
+    let ctx = IltContext::new(&cfg.ilt);
+
+    fault::install(FaultPlan {
+        panic_at_task: Some(0),
+        ..FaultPlan::default()
+    });
+    let mut flow = LdmoFlow::new(cfg.clone(), SelectionStrategy::LithoProxy);
+    let order = flow.rank_candidates(&layout, &candidates, &ctx);
+    assert_eq!(order.len(), candidates.len(), "no candidate was dropped");
+    assert_eq!(
+        *order.last().expect("nonempty"),
+        0,
+        "the panicked candidate must rank last"
+    );
+
+    // the full flow still completes while the panic plan is installed
+    let result = LdmoFlow::new(cfg, SelectionStrategy::LithoProxy).run(&layout);
+    assert_eq!(result.assignment.len(), layout.len());
+    assert!(result.outcome.l2.is_finite());
+}
+
+#[test]
+fn worker_panic_in_dataset_labeling_is_contained_to_its_slot() {
+    let _g = chaos_guard();
+    let layouts: Vec<_> = ["NAND2_X1", "NOR2_X1"]
+        .iter()
+        .map(|n| cells::cell(n).expect("known cell"))
+        .collect();
+    let scfg = SamplingConfig {
+        clusters: 2,
+        per_cluster: 1,
+        max_per_layout: 3,
+        ..SamplingConfig::default()
+    };
+    let mut dcfg = DatasetConfig::default();
+    dcfg.ilt.max_iterations = 2;
+
+    fault::clear();
+    let baseline = build_dataset(&layouts, &SamplerKind::Engineered, &scfg, &dcfg);
+
+    fault::install(FaultPlan {
+        panic_at_task: Some(1),
+        ..FaultPlan::default()
+    });
+    let chaotic = build_dataset(&layouts, &SamplerKind::Engineered, &scfg, &dcfg);
+
+    assert_eq!(
+        chaotic.len(),
+        baseline.len(),
+        "a panicked sample must stay in the dataset, penalized"
+    );
+    assert_eq!(chaotic.provenance, baseline.provenance);
+    let penalty = ldmo::guard::penalty_score(DegradeReason::WorkerPanic);
+    let penalized = chaotic.raw_scores.iter().filter(|&&s| s == penalty).count();
+    assert_eq!(penalized, 1, "exactly the injected slot is penalized");
+    assert!(baseline.raw_scores.iter().all(|&s| s != penalty));
+}
+
+#[test]
+fn stalled_candidate_blows_its_deadline_and_ranks_last() {
+    let _g = chaos_guard();
+    let (layout, _) = inv_x1();
+    let mut cfg = FlowConfig::default();
+    cfg.ilt.max_iterations = 6;
+    cfg.candidate_deadline = Some(Duration::from_millis(150));
+    let candidates = generate_candidates(&layout, &cfg.decomp);
+    assert!(candidates.len() >= 2);
+    let ctx = IltContext::new(&cfg.ilt);
+
+    fault::install(FaultPlan {
+        stall: Some((0, Duration::from_millis(600))),
+        ..FaultPlan::default()
+    });
+    let mut flow = LdmoFlow::new(cfg, SelectionStrategy::LithoProxy);
+    let order = flow.rank_candidates(&layout, &candidates, &ctx);
+    assert_eq!(
+        *order.last().expect("nonempty"),
+        0,
+        "the stalled candidate must be deadline-penalized to last place"
+    );
+}
+
+#[test]
+fn zero_budget_degrades_the_flow_instead_of_hanging_it() {
+    let _g = chaos_guard();
+    let (layout, _) = inv_x1();
+    let mut cfg = FlowConfig::default();
+    cfg.ilt.budget = Budget {
+        max_iterations: Some(0),
+        max_wall: None,
+    };
+    let result = LdmoFlow::new(cfg, SelectionStrategy::First).run(&layout);
+    assert!(
+        result.outcome.health.is_degraded(),
+        "zero budget must surface as a degraded outcome, got {:?}",
+        result.outcome.health
+    );
+    assert_eq!(
+        result.outcome.health,
+        OutcomeHealth::Degraded {
+            reason: DegradeReason::BudgetExhausted
+        }
+    );
+    assert_eq!(result.outcome.iterations_run, 0);
+}
+
+#[test]
+fn corrupt_model_bytes_surface_as_typed_errors_and_clear_cleanly() {
+    let _g = chaos_guard();
+    let dir = std::env::temp_dir().join("ldmo_chaos_model");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("weights.bin");
+    let mut predictor = PrintabilityPredictor::lite(7);
+    predictor.save(&path).expect("save");
+
+    // truncated stream → I/O error (exit 5)
+    fault::install(FaultPlan {
+        corrupt_model: Some(ModelFault::Truncate { at: 20 }),
+        ..FaultPlan::default()
+    });
+    let err = predictor.load(&path).expect_err("truncated");
+    assert!(matches!(err, NnError::Io(_)), "{err:?}");
+    assert_eq!(ldmo::guard::LdmoError::from(err).exit_code(), 5);
+
+    // flipped magic byte → shape/format mismatch → model error (exit 4)
+    fault::install(FaultPlan {
+        corrupt_model: Some(ModelFault::FlipByte { at: 0 }),
+        ..FaultPlan::default()
+    });
+    let err = predictor.load(&path).expect_err("bad magic");
+    assert!(matches!(err, NnError::ShapeMismatch { .. }), "{err:?}");
+    assert_eq!(ldmo::guard::LdmoError::from(err).exit_code(), 4);
+
+    // NaN weight → corrupt checkpoint → model error (exit 4)
+    fault::install(FaultPlan {
+        corrupt_model: Some(ModelFault::NanWeight { index: 0 }),
+        ..FaultPlan::default()
+    });
+    let err = predictor.load(&path).expect_err("NaN weight");
+    assert!(matches!(err, NnError::Corrupt { .. }), "{err:?}");
+    assert_eq!(ldmo::guard::LdmoError::from(err).exit_code(), 4);
+
+    // with the plan cleared the very same file loads fine
+    fault::clear();
+    predictor.load(&path).expect("clean load after clear");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_plan_survives_a_full_flow_run() {
+    // the seeded plan fires several injections at once (NaN gradient,
+    // worker panic, model-byte flip, stall); a flow run must absorb all
+    // of them and still return a usable or explicitly degraded result
+    let _g = chaos_guard();
+    let (layout, _) = inv_x1();
+    fault::install(FaultPlan::seeded(2020));
+    let mut cfg = FlowConfig::default();
+    cfg.ilt.max_iterations = 8;
+    let result = LdmoFlow::new(cfg, SelectionStrategy::LithoProxy).run(&layout);
+    assert_eq!(result.assignment.len(), layout.len());
+    assert!(
+        result.outcome.l2.is_finite(),
+        "even a seeded chaos run returns a finite best iterate"
+    );
+}
+
+#[test]
+fn init_from_env_reflects_the_environment() {
+    let _g = chaos_guard();
+    match std::env::var("LDMO_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            // the CI chaos job runs this binary with a valid spec set
+            let installed = fault::init_from_env().expect("CI spec must parse");
+            assert!(installed);
+            assert!(fault::active());
+        }
+        _ => {
+            assert!(!fault::init_from_env().expect("no spec, no error"));
+            assert!(!fault::active());
+        }
+    }
+}

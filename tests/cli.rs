@@ -26,7 +26,7 @@ fn help_lists_subcommands() {
 #[test]
 fn unknown_subcommand_fails_with_message() {
     let out = ldmo().arg("frobnicate").output().expect("runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown subcommand"));
 }
@@ -100,7 +100,7 @@ fn optimize_rejects_wrong_assignment_length() {
         ])
         .output()
         .expect("runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("assignment covers"), "stderr: {err}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -112,6 +112,84 @@ fn info_rejects_missing_file() {
         .args(["info", "/nonexistent/layout.lay"])
         .output()
         .expect("runs");
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read layout"));
+    assert_eq!(out.status.code(), Some(5), "missing files exit 5 (I/O)");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("layout"), "stderr: {err}");
+}
+
+#[test]
+fn info_rejects_malformed_file_with_parse_exit_code() {
+    let dir = temp_dir("malformed");
+    let path = dir.join("bad.lay");
+    std::fs::write(&path, "this is not a layout file\n").expect("write");
+    let out = ldmo()
+        .args(["info", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(3), "parse errors exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_positional_argument_exits_with_usage_code() {
+    let out = ldmo().arg("info").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: ldmo info"));
+}
+
+#[test]
+fn flow_rejects_missing_predictor_weights() {
+    let dir = temp_dir("badweights");
+    assert!(ldmo()
+        .args([
+            "generate",
+            "--seed",
+            "6",
+            "--count",
+            "1",
+            "--out",
+            dir.to_str().expect("utf8 path"),
+        ])
+        .status()
+        .expect("runs")
+        .success());
+    let layout_file = dir.join("layout_6_0.lay");
+    let out = ldmo()
+        .args([
+            "flow",
+            layout_file.to_str().expect("utf8 path"),
+            "--predictor",
+            "/nonexistent/weights.bin",
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(5), "missing weights exit 5 (I/O)");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("predictor"), "stderr: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_fault_spec_exits_with_fault_code() {
+    let out = ldmo()
+        .env("LDMO_FAULTS", "warp-core@3")
+        .arg("help")
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(7), "bad LDMO_FAULTS exits 7");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fault"), "stderr: {err}");
+}
+
+#[test]
+fn wellformed_fault_spec_is_accepted() {
+    // an installed plan whose coordinates never fire must not change a run
+    let out = ldmo()
+        .env("LDMO_FAULTS", "nan-grad@9999")
+        .arg("help")
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
 }
