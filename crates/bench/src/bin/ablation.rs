@@ -8,6 +8,7 @@
 //! cargo run --release -p ldmo-bench --bin ablation
 //! ```
 
+use ldmo_bench::report::{maybe_write, BenchReport};
 use ldmo_bench::{eval_suite, fast_mode, trained_predictor};
 use ldmo_core::dataset::SamplerKind;
 use ldmo_core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
@@ -53,6 +54,7 @@ fn main() {
     let trace_out = ldmo_obs::trace_setup();
     ldmo_par::cli_setup();
     let suite = suite();
+    let mut report = BenchReport::new("ablation");
     println!("ABLATIONS over {} evaluation layouts\n", suite.len());
 
     // 1. selection strategy, first-choice protocol: the selector's pick
@@ -77,6 +79,17 @@ fn main() {
         let mut flow = LdmoFlow::new(cfg, strategy);
         let (epe, time) = run_suite(&mut flow, &suite);
         println!("{name:>14} | {epe:>6} | {:>8.1}", time.as_secs_f64());
+        let id = format!(
+            "strategy/{}",
+            name.split_whitespace()
+                .next()
+                .unwrap_or(name)
+                .to_lowercase()
+        );
+        report
+            .push_value(id, "s", time.as_secs_f64())
+            .meta
+            .push(("epe".into(), epe as f64));
     }
     // random selection is high-variance: average over several seeds
     {
@@ -99,6 +112,14 @@ fn main() {
             total_time.as_secs_f64() / seeds.len() as f64,
             seeds.len()
         );
+        report
+            .push_value(
+                "strategy/random",
+                "s",
+                total_time.as_secs_f64() / seeds.len() as f64,
+            )
+            .meta
+            .push(("epe".into(), total_epe as f64 / seeds.len() as f64));
     }
 
     // 2. covering strength for candidate generation
@@ -120,6 +141,8 @@ fn main() {
             cands += r.candidates;
         }
         println!("{strength:>13}-wise | {epe:>6} | {cands:>10}");
+        let row = report.push_value(format!("covering/{strength}-wise"), "count", epe as f64);
+        row.meta.push(("candidates".into(), cands as f64));
     }
 
     // 3. violation-triggered reselection on/off
@@ -132,6 +155,12 @@ fn main() {
         let mut flow = LdmoFlow::new(cfg, SelectionStrategy::Random { seed: 5 });
         let (epe, _) = run_suite(&mut flow, &suite);
         println!("{label:>14} | {epe:>6}");
+        report.push_value(
+            format!("reselection/attempts_{attempts}"),
+            "count",
+            epe as f64,
+        );
     }
+    maybe_write(&report);
     ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -1,5 +1,6 @@
 //! Probe: step size vs residual EPE at the 29-iteration budget for good
 //! and bad decompositions.
+use ldmo_bench::report::{maybe_write, BenchReport};
 use ldmo_decomp::{generate_candidates, DecompConfig};
 use ldmo_geom::Rect;
 use ldmo_ilt::{optimize, IltConfig};
@@ -32,11 +33,15 @@ fn main() {
     cfg.litho.ring_amplitude = ring;
     cfg.mrc_expand_nm = mrc;
     eprintln!("sigma={sigma} ring={ring} mrc={mrc}");
+    let mut report = BenchReport::new("calibrate_step");
     let iso = Layout::new(Rect::new(0, 0, 448, 448), vec![Rect::square(192, 192, 64)]);
-    eprintln!(
-        "  isolated: epe={}",
-        optimize(&iso, &[0], &cfg).epe_violations()
-    );
+    let t0 = std::time::Instant::now();
+    let iso_epe = optimize(&iso, &[0], &cfg).epe_violations();
+    report
+        .push_value("isolated/optimize", "s", t0.elapsed().as_secs_f64())
+        .meta
+        .push(("epe".into(), iso_epe as f64));
+    eprintln!("  isolated: epe={iso_epe}");
     for g in [64, 84, 92, 104, 120] {
         let l = quad(g);
         let good = optimize(&l, &[0, 1, 1, 0], &cfg);
@@ -47,6 +52,11 @@ fn main() {
             good.epe_violations(),
             bad.epe_violations(),
             worst.epe_violations()
+        );
+        report.push_value(
+            format!("quad_g{g}/checker"),
+            "count",
+            good.epe_violations() as f64,
         );
     }
     // 2x3 grid: SP rows at 66, rows stacked at VP distance 86.
@@ -99,5 +109,6 @@ fn main() {
             .collect();
         eprintln!("  {name}: candidate EPEs {epes:?}");
     }
+    maybe_write(&report);
     ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -10,6 +10,7 @@
 //! ```
 
 use ldmo_bench::fast_mode;
+use ldmo_bench::report::{maybe_write, BenchReport};
 use ldmo_decomp::{generate_candidates, DecompConfig};
 use ldmo_ilt::{optimize, IltConfig};
 use ldmo_layout::cells;
@@ -28,14 +29,25 @@ fn main() {
 
     println!("FIG 1(b) — EPE convergence of {take} decompositions of AOI211_X1");
     let mut series = Vec::new();
+    let mut report = BenchReport::new("fig1b");
     for (i, cand) in candidates.iter().take(take).enumerate() {
         eprintln!("[fig1b] DECMP#{} = {cand:?} …", i + 1);
+        let t0 = std::time::Instant::now();
         let out = optimize(&layout, cand, &cfg);
+        let elapsed = t0.elapsed();
         let epe: Vec<usize> = out
             .trajectory
             .iter()
             .map(|s| s.epe_violations.unwrap_or(0))
             .collect();
+        let row = report.push_value(
+            format!("DECMP#{}/optimize", i + 1),
+            "s",
+            elapsed.as_secs_f64(),
+        );
+        row.meta
+            .push(("final_epe".into(), epe.last().copied().unwrap_or(0) as f64));
+        row.meta.push(("iters".into(), epe.len() as f64));
         series.push((format!("DECMP#{}", i + 1), epe));
     }
 
@@ -77,5 +89,6 @@ fn main() {
         "\nfinal EPE counts: {finals:?}; winner: {}; winner trailed mid-run: {trailed}",
         series[winner].0
     );
+    maybe_write(&report);
     ldmo_obs::trace_finish(trace_out.as_deref());
 }

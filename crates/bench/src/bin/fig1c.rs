@@ -8,6 +8,7 @@
 //! cargo run --release -p ldmo-bench --bin fig1c
 //! ```
 
+use ldmo_bench::report::{maybe_write, BenchReport};
 use ldmo_bench::{fast_mode, testcases};
 use ldmo_core::baselines::{unified_flow, UnifiedConfig};
 use ldmo_decomp::{generate_candidates, DecompConfig};
@@ -57,5 +58,11 @@ fn main() {
         );
     }
     println!("\n(paper: DS 59.1%, MO 40.9% — measured on layouts with many candidates)");
+    let mut report = BenchReport::new("fig1c");
+    for (label, (ds, mo)) in [("all", all), ("multi_candidate", multi)] {
+        report.push_value(format!("{label}/ds"), "s", ds.as_secs_f64());
+        report.push_value(format!("{label}/mo"), "s", mo.as_secs_f64());
+    }
+    maybe_write(&report);
     ldmo_obs::trace_finish(trace_out.as_deref());
 }

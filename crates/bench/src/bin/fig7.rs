@@ -9,6 +9,7 @@
 //! cargo run --release -p ldmo-bench --bin fig7
 //! ```
 
+use ldmo_bench::report::{maybe_write, BenchReport};
 use ldmo_bench::{fast_mode, trained_predictor};
 use ldmo_core::baselines::{two_stage_bfs, two_stage_suald, unified_flow, UnifiedConfig};
 use ldmo_core::dataset::SamplerKind;
@@ -44,6 +45,7 @@ fn main() {
         "{:>12} | {:>9} | {:>9} | {:>13} | {:>10}",
         "cell", "[16]+[6]", "[17]+[6]", "ICCAD'17 [10]", "Ours EPE#"
     );
+    let mut report = BenchReport::new("fig7");
     for name in ["AOI211_X1", "NAND3_X2", "BUF_X1"] {
         let layout = cells::cell(name).expect("known cell");
         eprintln!("[fig7] {name} …");
@@ -51,6 +53,20 @@ fn main() {
         let bfs = two_stage_bfs(&layout, &unified_cfg.ilt);
         let unified = unified_flow(&layout, &unified_cfg);
         let our = ours.run(&layout);
+        let row = report.push_value(
+            format!("{name}/ours"),
+            "s",
+            our.timing.total().as_secs_f64(),
+        );
+        row.meta
+            .push(("epe".into(), our.outcome.epe_violations() as f64));
+        let row = report.push_value(
+            format!("{name}/unified"),
+            "s",
+            unified.total_time().as_secs_f64(),
+        );
+        row.meta
+            .push(("epe".into(), unified.outcome.epe_violations() as f64));
         println!(
             "{:>12} | {:>9} | {:>9} | {:>13} | {:>10}",
             name,
@@ -76,5 +92,6 @@ fn main() {
         );
     }
     eprintln!("\nprinted-image PGMs written to bench_out/");
+    maybe_write(&report);
     ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -11,6 +11,7 @@
 //! cargo run --release -p ldmo-bench --bin fig8
 //! ```
 
+use ldmo_bench::report::{maybe_write, BenchReport};
 use ldmo_bench::{eval_suite, fast_mode, trained_predictor};
 use ldmo_core::dataset::SamplerKind;
 use ldmo_core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
@@ -45,6 +46,7 @@ fn main() {
     // two protocols: the full flow (the violation feedback converts bad
     // rankings into retries, i.e. runtime), and single-attempt (the
     // network's first choice determines the EPE directly)
+    let mut report = BenchReport::new("fig8");
     for (protocol, attempts) in [("full flow", 4usize), ("first choice only", 1)] {
         let mut results: Vec<(&str, usize, Duration)> = Vec::new();
         for (kind, tag) in [
@@ -72,6 +74,12 @@ fn main() {
         println!("{:>12} | {:>6} | {:>8}", "strategy", "EPE#", "Time(s)");
         for (tag, epe, time) in &results {
             println!("{tag:>12} | {epe:>6} | {:>8.1}", time.as_secs_f64());
+            let row = report.push_value(
+                format!("attempts_{attempts}/{tag}"),
+                "s",
+                time.as_secs_f64(),
+            );
+            row.meta.push(("epe".into(), *epe as f64));
         }
         let ours = &results[0];
         let random = &results[1];
@@ -89,5 +97,6 @@ fn main() {
         );
     }
     println!("\n(paper: random sampling ≈ 2× the EPE count at ≈ equal runtime)");
+    maybe_write(&report);
     ldmo_obs::trace_finish(trace_out.as_deref());
 }

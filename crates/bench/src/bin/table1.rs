@@ -15,6 +15,7 @@
 //! Pass `--trace-out trace.jsonl` (or set `LDMO_TRACE=1`) to capture an
 //! `ldmo-obs` trace of every flow stage and ILT iteration.
 
+use ldmo_bench::report::{maybe_write, BenchReport};
 use ldmo_bench::{fast_mode, testcases, trained_predictor};
 use ldmo_core::baselines::{two_stage_bfs, two_stage_suald, unified_flow, UnifiedConfig};
 use ldmo_core::dataset::SamplerKind;
@@ -131,5 +132,17 @@ fn main() {
         1.0,
         1.0,
     );
+    let mut report = BenchReport::new("table1");
+    for row in &rows {
+        for (i, flow) in ["suald", "bfs", "unified", "ours"].iter().enumerate() {
+            let r = report.push_value(
+                format!("{}/{flow}", row.name),
+                "s",
+                row.time[i].as_secs_f64(),
+            );
+            r.meta.push(("epe".into(), row.epe[i] as f64));
+        }
+    }
+    maybe_write(&report);
     ldmo_obs::trace_finish(trace_out.as_deref());
 }

@@ -8,6 +8,12 @@
 //! Every binary accepts the `LDMO_FAST=1` environment variable to shrink
 //! workloads (fewer training labels, fewer ILT iterations) for smoke runs;
 //! the full settings reproduce the shapes reported in EXPERIMENTS.md.
+//!
+//! Every binary also accepts `--json-out PATH` to emit a machine-readable
+//! `BENCH_<name>.json` report ([`report`]) consumed by the
+//! `ldmo bench-report` aggregator and the CI perf gate.
+
+pub mod report;
 
 use ldmo_core::dataset::{build_dataset, DatasetConfig, SamplerKind};
 use ldmo_core::predictor::PrintabilityPredictor;

@@ -142,6 +142,34 @@ pub struct LdmoFlow {
     pool: ldmo_par::ThreadPool,
 }
 
+/// Per-stage peak-heap attribution: resets the counting allocator's
+/// high-water mark at stage start and stamps the stage's own peak onto its
+/// span at the end. Active only when the binary installed
+/// `ldmo_obs::alloc::CountingAlloc` *and* the collector is on — otherwise
+/// every call is a no-op, keeping unprofiled runs free.
+struct StagePeak {
+    on: bool,
+}
+
+impl StagePeak {
+    fn start(on: bool) -> StagePeak {
+        if on {
+            ldmo_obs::alloc::reset_peak();
+        }
+        StagePeak { on }
+    }
+
+    /// Stamps `peak_kb` on the stage span and folds it into the run-level
+    /// maximum.
+    fn finish(self, span: &mut ldmo_obs::Span, run_peak_kb: &mut f64) {
+        if self.on {
+            let kb = ldmo_obs::alloc::peak_bytes() as f64 / 1024.0;
+            span.set("peak_kb", kb);
+            *run_peak_kb = run_peak_kb.max(kb);
+        }
+    }
+}
+
 impl LdmoFlow {
     /// Creates a flow with the given selection strategy, ranking
     /// candidates on the global [`ldmo_par`] pool.
@@ -179,25 +207,35 @@ impl LdmoFlow {
     /// non-empty layouts).
     pub fn run(&mut self, layout: &Layout) -> FlowResult {
         let run_start = Instant::now();
+        let mem = ldmo_obs::enabled() && ldmo_obs::alloc::installed();
+        let mut run_peak_kb = 0f64;
         let mut root = ldmo_obs::span("flow.run");
         root.set("patterns", layout.len() as f64);
         root.set("pool", self.pool.threads() as f64);
         // one kernel-bank expansion serves the proxy ranking, every abort
         // attempt and the final optimization
         let ctx = {
-            let _s = ldmo_obs::span("flow.kernel_expand");
-            IltContext::new(&self.cfg.ilt)
+            let mut s = ldmo_obs::span("flow.kernel_expand");
+            let peak = StagePeak::start(mem);
+            let ctx = IltContext::new(&self.cfg.ilt);
+            peak.finish(&mut s, &mut run_peak_kb);
+            ctx
         };
         let candidates = {
             let mut s = ldmo_obs::span("flow.candidate_gen");
+            let peak = StagePeak::start(mem);
             let candidates = generate_candidates(layout, &self.cfg.decomp);
+            peak.finish(&mut s, &mut run_peak_kb);
             s.set("candidates", candidates.len() as f64);
             candidates
         };
         assert!(!candidates.is_empty(), "no decomposition candidates");
         let order = {
-            let _s = ldmo_obs::span("flow.rank");
-            self.rank_candidates(layout, &candidates, &ctx)
+            let mut s = ldmo_obs::span("flow.rank");
+            let peak = StagePeak::start(mem);
+            let order = self.rank_candidates(layout, &candidates, &ctx);
+            peak.finish(&mut s, &mut run_peak_kb);
+            order
         };
 
         if let SelectionStrategy::Cnn(p) = &mut self.strategy {
@@ -219,19 +257,22 @@ impl LdmoFlow {
             let mut s = ldmo_obs::span("flow.ilt_attempt");
             s.set("attempt", attempts as f64);
             s.set("candidate", ci as f64);
+            let peak = StagePeak::start(mem);
             let outcome = abort_ctx.optimize(layout, cand);
             let aborted = outcome.aborted_at.is_some();
+            peak.finish(&mut s, &mut run_peak_kb);
             s.set("aborted", if aborted { 1.0 } else { 0.0 });
             let attempt_time = s.elapsed();
             drop(s);
             if !aborted {
-                root.set("attempts", attempts as f64);
+                let timing = FlowTiming::from_total(run_start.elapsed(), attempt_time);
+                Self::stamp_root(&mut root, attempts, &timing, mem, run_peak_kb);
                 return FlowResult {
                     assignment: cand.clone(),
                     outcome,
                     attempts,
                     candidates: candidates.len(),
-                    timing: FlowTiming::from_total(run_start.elapsed(), attempt_time),
+                    timing,
                 };
             }
             // the aborted attempt is selection overhead, not optimization —
@@ -246,17 +287,40 @@ impl LdmoFlow {
         }
         // every attempt aborted: complete the best-ranked candidate fully
         let fallback = &candidates[order[0]];
-        let s = ldmo_obs::span("flow.ilt_final");
+        let mut s = ldmo_obs::span("flow.ilt_final");
+        let peak = StagePeak::start(mem);
         let outcome = ctx.optimize(layout, fallback);
+        peak.finish(&mut s, &mut run_peak_kb);
         let mo_time = s.elapsed();
         drop(s);
-        root.set("attempts", (attempts + 1) as f64);
+        let timing = FlowTiming::from_total(run_start.elapsed(), mo_time);
+        Self::stamp_root(&mut root, attempts + 1, &timing, mem, run_peak_kb);
         FlowResult {
             assignment: fallback.clone(),
             outcome,
             attempts: attempts + 1,
             candidates: candidates.len(),
-            timing: FlowTiming::from_total(run_start.elapsed(), mo_time),
+            timing,
+        }
+    }
+
+    /// Final metadata on the `flow.run` span: attempt count, the
+    /// [`FlowTiming`] buckets in microseconds (`sel_us` + `opt_us` must
+    /// reconcile with the span's own duration — `ldmo trace summarize
+    /// --reconcile` enforces it within 1%), and the run's peak heap when
+    /// memory profiling is active. Uses all 6 metadata slots.
+    fn stamp_root(
+        root: &mut ldmo_obs::Span,
+        attempts: usize,
+        timing: &FlowTiming,
+        mem: bool,
+        run_peak_kb: f64,
+    ) {
+        root.set("attempts", attempts as f64);
+        root.set("sel_us", timing.decomposition_selection.as_micros() as f64);
+        root.set("opt_us", timing.mask_optimization.as_micros() as f64);
+        if mem {
+            root.set("peak_kb", run_peak_kb);
         }
     }
 

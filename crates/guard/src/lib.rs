@@ -51,6 +51,10 @@ pub enum DegradeReason {
     BudgetExhausted,
     /// A pool worker panicked while computing this slot.
     WorkerPanic,
+    /// A performance comparison (`ldmo trace diff`, CI perf gate) found a
+    /// regression beyond its threshold: the work completed, but the result
+    /// is an unhealthy verdict.
+    PerfRegression,
 }
 
 impl std::fmt::Display for DegradeReason {
@@ -60,6 +64,7 @@ impl std::fmt::Display for DegradeReason {
             DegradeReason::DivergenceLimit => write!(f, "divergence rollback limit"),
             DegradeReason::BudgetExhausted => write!(f, "budget exhausted"),
             DegradeReason::WorkerPanic => write!(f, "worker panic"),
+            DegradeReason::PerfRegression => write!(f, "performance regression"),
         }
     }
 }
@@ -118,6 +123,7 @@ pub fn penalty_score(reason: DegradeReason) -> f64 {
         DegradeReason::DivergenceLimit => 2.0,
         DegradeReason::BudgetExhausted => 3.0,
         DegradeReason::WorkerPanic => 4.0,
+        DegradeReason::PerfRegression => 5.0,
     };
     PENALTY_BASE + offset * 1.0e9
 }
@@ -196,6 +202,7 @@ mod tests {
             DegradeReason::DivergenceLimit,
             DegradeReason::BudgetExhausted,
             DegradeReason::WorkerPanic,
+            DegradeReason::PerfRegression,
         ];
         for r in reasons {
             assert_eq!(

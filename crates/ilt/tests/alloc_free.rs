@@ -3,34 +3,16 @@
 //! (forward artifacts, gradients, convolution scratch) is owned by the
 //! session.
 //!
+//! The counting allocator that started life in this file is now the
+//! reusable `ldmo_obs::alloc::CountingAlloc` (the same machinery the
+//! `mem.*` trace gauges read), so this test doubles as proof that the
+//! memory self-profiling layer itself observes zero hot-path allocations.
+//!
 //! This test lives in its own integration-test binary because it installs a
 //! counting `#[global_allocator]`, which must not observe allocations from
 //! unrelated concurrently running tests.
 
-use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Wraps the system allocator and counts every allocation and
-/// reallocation (frees are irrelevant to the regression being guarded).
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use ldmo_obs::alloc::{alloc_event_count, CountingAlloc};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
@@ -55,18 +37,25 @@ fn step_one_is_allocation_free_after_warmup() {
     // statics. Enabling it here makes the guard cover the instrumented
     // path, not just the disabled fast path.
     ldmo_obs::enable();
+    assert!(
+        ldmo_obs::alloc::installed(),
+        "the counting allocator must have observed the setup allocations"
+    );
     let mut session = IltSession::new(&layout, &[0, 1, 1, 0], &IltConfig::default());
     // warmup: the first iterations populate anything touched lazily
     // (including lazy metric registration in ldmo-obs)
     session.step_one();
     session.step_one();
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = alloc_event_count();
     let l2 = session.step_one();
-    let allocated = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    let allocated = alloc_event_count() - before;
     assert!(l2.is_finite());
     assert_eq!(
         allocated, 0,
         "step_one performed {allocated} heap allocations; the hot path must reuse session buffers"
     );
+    // the self-profiling counters themselves must have seen real traffic
+    assert!(ldmo_obs::alloc::peak_bytes() > 0);
+    assert!(ldmo_obs::alloc::current_bytes() <= ldmo_obs::alloc::peak_bytes());
 }

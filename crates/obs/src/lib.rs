@@ -26,11 +26,16 @@
 //! ([`flush_jsonl`], one JSON object per line) and a human-readable
 //! end-of-run summary tree ([`summary`]). [`json`] carries a dependency-free
 //! JSON parser so traces can be validated and round-tripped in tests
-//! without external crates.
+//! without external crates. The read side lives in [`analyze`]: span-tree
+//! rollups, histogram percentile reconstruction, convergence summaries and
+//! trace diffing, powering the `ldmo trace` subcommand. [`alloc`] adds an
+//! opt-in counting global allocator feeding `mem.*` gauges.
 //!
 //! Span naming, counter-vs-histogram guidance and the hot-path allocation
 //! rules are documented in DESIGN.md §8.
 
+pub mod alloc;
+pub mod analyze;
 mod collector;
 pub mod json;
 mod metrics;
@@ -128,8 +133,10 @@ pub fn trace_setup() -> Option<PathBuf> {
 }
 
 /// Writes the JSONL trace to `out` (when tracing was set up) and prints the
-/// end-of-run summary tree to stderr. Errors are reported to stderr, never
-/// panicked — telemetry must not take down a finished run.
+/// end-of-run summary tree to stderr. `--trace-out -` streams the JSONL to
+/// stdout (diagnostics stay on stderr, so piped JSON stays clean). Errors
+/// are reported to stderr, never panicked — telemetry must not take down a
+/// finished run.
 pub fn trace_finish(out: Option<&Path>) {
     let Some(path) = out else { return };
     match flush_jsonl(path) {

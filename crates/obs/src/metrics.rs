@@ -213,6 +213,48 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Reconstructs the `q`-quantile (`0 < q ≤ 1`, e.g. `0.99` for p99)
+    /// from the log2 buckets.
+    ///
+    /// The histogram only keeps per-bucket counts, so the true quantile is
+    /// recovered up to the containing bucket `[2^(b-1), 2^b)` and then
+    /// linearly interpolated by rank inside it. The error bound is the
+    /// bucket width: the reconstructed value and the true quantile always
+    /// share a bucket, so they differ by strictly less than a factor of 2
+    /// (exact for zeros, and the top end is clamped to the recorded
+    /// maximum). Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the requested observation in sorted order
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                if b == 0 {
+                    return 0.0; // bucket 0 holds exact zeros
+                }
+                let lo = (1u128 << (b - 1)) as f64;
+                let hi = if b + 1 >= HISTOGRAM_BINS {
+                    // the last bucket saturates; the recorded max bounds it
+                    self.max as f64
+                } else {
+                    ((1u128 << b) as f64).min(self.max as f64)
+                };
+                let hi = hi.max(lo);
+                let frac = (target - seen) as f64 / c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
 }
 
 /// Returns the histogram registered under `name`, registering it on first

@@ -16,6 +16,10 @@ use std::time::Duration;
 /// `gauge`, `hist`. Span metadata fields are flattened into the span
 /// object; non-finite numbers are emitted as `null`.
 pub fn write_jsonl<W: Write>(w: &mut W) -> io::Result<usize> {
+    // opt-in memory self-profiling: refresh the mem.* gauges so every
+    // flushed trace carries the run's high-water mark (no-op without an
+    // installed CountingAlloc)
+    crate::alloc::publish_gauges();
     let mut lines = 0usize;
     let spans = collector::events_snapshot();
     let records = collector::records_snapshot();
@@ -113,9 +117,18 @@ pub fn write_jsonl<W: Write>(w: &mut W) -> io::Result<usize> {
     Ok(lines)
 }
 
-/// Writes the JSONL trace to `path` (created or truncated). Returns the
-/// number of lines written.
+/// Writes the JSONL trace to `path` (created or truncated). The special
+/// path `-` streams to stdout instead — which is why every binary keeps
+/// its diagnostics on stderr, so `--trace-out - | jq` sees clean JSON.
+/// Returns the number of lines written.
 pub fn flush_jsonl(path: &Path) -> io::Result<usize> {
+    if path.as_os_str() == "-" {
+        let stdout = io::stdout();
+        let mut lock = stdout.lock();
+        let lines = write_jsonl(&mut lock)?;
+        lock.flush()?;
+        return Ok(lines);
+    }
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         std::fs::create_dir_all(parent)?;
     }

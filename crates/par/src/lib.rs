@@ -31,15 +31,25 @@
 //! counter, and workers adopt the dispatching thread's innermost span as
 //! their parent (via `ldmo_obs::adopt_parent_span`), so spans opened inside
 //! parallel regions stay attached to the trace tree instead of floating at
-//! the root.
+//! the root. With the collector enabled the pool also self-profiles
+//! (DESIGN.md §12): each working chunk records its busy time into the
+//! `par.worker_busy_us` histogram, resident workers record the publish-to-
+//! pickup latency into `par.worker_wait_us`, each region records its wall
+//! time into `par.region_us`, and the `par.busy_fraction` gauge carries the
+//! last region's utilization (summed busy time over `threads × wall`) — the
+//! measurement the multi-core scaling analysis reads. All of it is timing
+//! only: the computation and its chunking are bit-identical with profiling
+//! on or off.
 
 use std::any::Any;
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::thread;
+use std::time::Instant;
 
 /// Locks ignoring poison: the pool's mutexes only guard state that stays
 /// valid across a panic (worker panics are caught before any lock is
@@ -169,6 +179,11 @@ struct MapCtx<'a, T, S, R, I, F> {
     parent_span: u64,
     /// First panic payload from any worker (the dispatcher re-raises it).
     panic: &'a Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// When the region was published — resident workers measure their
+    /// queue wait against it (self-profiling; only read with obs enabled).
+    published: Instant,
+    /// Summed per-worker busy microseconds, feeding `par.busy_fraction`.
+    busy_us: &'a AtomicU64,
     _state: PhantomData<fn() -> S>,
 }
 
@@ -184,6 +199,14 @@ where
     if start >= end {
         return;
     }
+    let profiling = ldmo_obs::enabled();
+    if profiling && index > 0 {
+        // publish-to-pickup latency of a resident worker (the dispatcher
+        // is index 0 and starts immediately)
+        ldmo_obs::histogram("par.worker_wait_us")
+            .record(ctx.published.elapsed().as_micros() as u64);
+    }
+    let chunk_start = profiling.then(Instant::now);
     let previous = (index > 0).then(|| ldmo_obs::adopt_parent_span(ctx.parent_span));
     let result = panic::catch_unwind(AssertUnwindSafe(|| {
         // per-worker scratch: one init per region, reused across the chunk
@@ -196,6 +219,11 @@ where
     }));
     if let Some(parent) = previous {
         ldmo_obs::adopt_parent_span(parent);
+    }
+    if let Some(t0) = chunk_start {
+        let busy = t0.elapsed().as_micros() as u64;
+        ldmo_obs::histogram("par.worker_busy_us").record(busy);
+        ctx.busy_us.fetch_add(busy, Ordering::Relaxed);
     }
     if let Err(payload) = result {
         let mut slot = lock_pool(ctx.panic);
@@ -313,6 +341,8 @@ impl ThreadPool {
 
         let mut out: Vec<MaybeUninit<R>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
         let panic_slot = Mutex::new(None);
+        let busy_us = AtomicU64::new(0);
+        let region_start = Instant::now();
         let ctx = MapCtx::<'_, T, S, R, I, F> {
             items,
             out: out.as_mut_ptr(),
@@ -320,6 +350,8 @@ impl ThreadPool {
             f: &f,
             parent_span: ldmo_obs::current_span_id(),
             panic: &panic_slot,
+            published: region_start,
+            busy_us: &busy_us,
             _state: PhantomData,
         };
         let data = (&ctx as *const MapCtx<'_, T, S, R, I, F>).cast::<()>();
@@ -348,6 +380,16 @@ impl ThreadPool {
                     .unwrap_or_else(PoisonError::into_inner);
             }
             st.job = None;
+        }
+        if ldmo_obs::enabled() {
+            // region-level self-profiling: wall time plus the fraction of
+            // the pool's capacity that was actually busy (1.0 = perfectly
+            // utilized, low values = imbalance or item scarcity)
+            let wall_us = region_start.elapsed().as_micros() as u64;
+            ldmo_obs::histogram("par.region_us").record(wall_us);
+            let busy = busy_us.load(Ordering::Relaxed) as f64;
+            ldmo_obs::gauge("par.busy_fraction")
+                .set(busy / (wall_us.max(1) as f64 * self.inner.threads as f64));
         }
 
         if let Some(payload) = panic_slot

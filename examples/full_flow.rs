@@ -21,13 +21,13 @@ fn make_predictor(weights: Option<&str>) -> PrintabilityPredictor {
     if let Some(path) = weights {
         match predictor.load(path) {
             Ok(()) => {
-                println!("loaded predictor weights from {path}");
+                eprintln!("loaded predictor weights from {path}");
                 return predictor;
             }
             Err(e) => eprintln!("could not load {path} ({e}); training inline"),
         }
     }
-    println!("training a small predictor inline…");
+    eprintln!("training a small predictor inline…");
     let mut generator = LayoutGenerator::new(GeneratorConfig::default(), 2020);
     let layouts = generator.generate_dataset(24);
     let scfg = SamplingConfig {

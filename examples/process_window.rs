@@ -15,7 +15,7 @@ fn main() {
     let layout = cells::cell("BUF_X1").expect("known cell");
     let cfg = IltConfig::default();
 
-    println!("optimizing BUF_X1 (checkerboard decomposition) …");
+    eprintln!("optimizing BUF_X1 (checkerboard decomposition) …");
     let out = optimize(&layout, &[0, 1, 1, 0], &cfg);
     println!(
         "nominal: EPE violations = {}, L2 = {:.1}",

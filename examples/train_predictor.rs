@@ -26,7 +26,7 @@ fn main() {
     // 1. layout pool (stand-in for the paper's 8000-layout corpus)
     let mut generator = LayoutGenerator::new(GeneratorConfig::default(), 2020);
     let layouts = generator.generate_dataset(pool_size);
-    println!("generated {} DRC-clean layouts", layouts.len());
+    eprintln!("generated {} DRC-clean layouts", layouts.len());
 
     // 2. sample representatives (SIFT + k-medoids) and decompositions
     //    (MST + 3-wise), label by full ILT — the expensive step
@@ -39,7 +39,7 @@ fn main() {
     let dcfg = DatasetConfig::default();
     let label_start = Instant::now();
     let dataset = build_dataset(&layouts, &SamplerKind::Engineered, &scfg, &dcfg).augmented();
-    println!(
+    eprintln!(
         "labeled {} (layout, decomposition) pairs in {:.1}s (incl. 4x symmetry augmentation)",
         dataset.len(),
         label_start.elapsed().as_secs_f64()

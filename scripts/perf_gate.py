@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare fresh BENCH_*.json reports against committed baselines.
+
+Usage:
+    scripts/perf_gate.py [--baseline DIR] [--fresh DIR]
+                         [--fail-ratio R] [--warn-ratio R]
+
+Compares the median of every result row (matched by report name + row id)
+in the fresh directory against the committed baseline. The band is
+deliberately generous: CI runners are noisy and the baselines were taken
+on a different machine, so the gate only exists to catch
+order-of-magnitude regressions — an accidental debug path, a quadratic
+blowup — not 20% drift. Defaults: warn beyond 3x, fail beyond 8x.
+
+Rows or reports present on only one side are reported but never fatal
+(new benches appear, old ones get renamed). Exit codes: 0 ok, 1 at least
+one row beyond --fail-ratio, 2 usage/loading problem.
+
+Schema contract is DESIGN.md section 12 ("ldmo-bench-report" version 1).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "ldmo-bench-report"
+
+
+def load_reports(directory: Path):
+    """Load every BENCH_*.json in `directory`, keyed by report name."""
+    reports = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"perf-gate: skipping unreadable {path}: {err}", file=sys.stderr)
+            continue
+        if data.get("schema") != SCHEMA:
+            print(f"perf-gate: skipping {path}: not a {SCHEMA}", file=sys.stderr)
+            continue
+        rows = {r["id"]: r for r in data.get("results", []) if "id" in r}
+        reports[data.get("name", path.stem)] = {
+            "rows": rows,
+            "fast": data.get("fast"),
+            "git_rev": data.get("git_rev"),
+        }
+    return reports
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="bench_out", type=Path,
+                        help="directory of committed baseline reports")
+    parser.add_argument("--fresh", default="bench_out_fresh", type=Path,
+                        help="directory of freshly measured reports")
+    parser.add_argument("--fail-ratio", default=8.0, type=float,
+                        help="median growth beyond this fails the gate")
+    parser.add_argument("--warn-ratio", default=3.0, type=float,
+                        help="median growth beyond this prints a warning")
+    args = parser.parse_args()
+
+    if args.fail_ratio <= 1.0 or args.warn_ratio <= 1.0:
+        print("perf-gate: ratios must be > 1.0", file=sys.stderr)
+        return 2
+    baseline = load_reports(args.baseline)
+    fresh = load_reports(args.fresh)
+    if not baseline:
+        print(f"perf-gate: no baseline reports in {args.baseline}", file=sys.stderr)
+        return 2
+    if not fresh:
+        print(f"perf-gate: no fresh reports in {args.fresh}", file=sys.stderr)
+        return 2
+
+    compared = 0
+    warnings = []
+    failures = []
+    for name in sorted(set(baseline) | set(fresh)):
+        if name not in fresh:
+            print(f"  [only-baseline] report {name} (not re-measured; ok)")
+            continue
+        if name not in baseline:
+            print(f"  [only-fresh]    report {name} (no baseline yet; ok)")
+            continue
+        base_rows = baseline[name]["rows"]
+        new_rows = fresh[name]["rows"]
+        if baseline[name]["fast"] != fresh[name]["fast"]:
+            print(f"perf-gate: {name}: fast-mode mismatch "
+                  f"(baseline fast={baseline[name]['fast']}, "
+                  f"fresh fast={fresh[name]['fast']}) — comparison is "
+                  f"apples-to-oranges", file=sys.stderr)
+            return 2
+        for row_id in sorted(set(base_rows) | set(new_rows)):
+            if row_id not in new_rows:
+                print(f"  [only-baseline] {name}:{row_id} (ok)")
+                continue
+            if row_id not in base_rows:
+                print(f"  [only-fresh]    {name}:{row_id} (ok)")
+                continue
+            old = base_rows[row_id].get("median")
+            new = new_rows[row_id].get("median")
+            if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            compared += 1
+            if old <= 0:
+                continue  # zero/negative medians carry no ratio signal
+            ratio = new / old
+            line = (f"{name}:{row_id}: median {old:.4g} -> {new:.4g} "
+                    f"({ratio:.2f}x)")
+            if ratio > args.fail_ratio:
+                failures.append(line)
+                print(f"  [FAIL] {line}")
+            elif ratio > args.warn_ratio:
+                warnings.append(line)
+                print(f"  [warn] {line}")
+
+    print(f"perf-gate: compared {compared} rows across "
+          f"{len(set(baseline) & set(fresh))} reports; "
+          f"{len(warnings)} warning(s), {len(failures)} failure(s) "
+          f"(warn >{args.warn_ratio}x, fail >{args.fail_ratio}x)")
+    if failures:
+        print("perf-gate: FAILED — order-of-magnitude regression(s) above",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@
 //! ldmo optimize layout.lay --assignment 0,1,0         run ILT on one decomposition
 //! ldmo flow layout.lay [--predictor w.bin]            run the full Fig. 2 flow
 //! ldmo train --pool 24 --out w.bin                    train the CNN predictor
+//! ldmo trace summarize trace.jsonl                    span rollups + percentiles
+//! ldmo trace diff old.jsonl new.jsonl                 flag span-time regressions
+//! ldmo bench-report bench_out/                        aggregate BENCH_*.json
 //! ```
 //!
 //! Errors exit with the stable codes of [`LdmoError::exit_code`]:
@@ -61,6 +64,8 @@ fn run(args: &[String]) -> Result<(), LdmoError> {
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("flow") => cmd_flow(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("bench-report") => cmd_bench_report(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -94,7 +99,12 @@ fn print_usage() {
          \x20 optimize  FILE --assignment 0,1,..       run ILT on one decomposition\n\
          \x20           [--masks K] [--out PREFIX]\n\
          \x20 flow      FILE [--predictor W.bin]       run the full LDMO flow\n\
-         \x20 train     --pool N --out W.bin           train the CNN predictor\n\n\
+         \x20 train     --pool N --out W.bin           train the CNN predictor\n\
+         \x20 trace     summarize FILE..               span rollups, histogram\n\
+         \x20           [--reconcile]                  percentiles, convergence digest\n\
+         \x20 trace     diff OLD NEW                   flag span-time regressions\n\
+         \x20           [--threshold R]                (exit 8 when any regress)\n\
+         \x20 bench-report DIR                         aggregate BENCH_*.json reports\n\n\
          every subcommand accepts --trace-out FILE (or LDMO_TRACE=1) to write\n\
          an ldmo-obs JSONL trace and print a span summary to stderr, and\n\
          --threads N (or LDMO_THREADS=N) to size the worker pool; results\n\
@@ -291,6 +301,156 @@ fn cmd_flow(args: &[String]) -> Result<(), LdmoError> {
         result.timing.decomposition_selection.as_secs_f64(),
         result.timing.mask_optimization.as_secs_f64()
     );
+    Ok(())
+}
+
+fn trace_error(context: impl Into<String>) -> impl FnOnce(String) -> LdmoError {
+    let context = context.into();
+    move |detail| LdmoError::Trace { context, detail }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), LdmoError> {
+    use ldmo::obs::analyze::{diff, render_diff, render_summary, Trace};
+    // parsed by hand: `--reconcile` is a boolean flag, which the generic
+    // `split_options` would greedily treat as `--flag value`
+    let mut pos: Vec<&str> = Vec::new();
+    let mut reconcile = false;
+    let mut threshold: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reconcile" => reconcile = true,
+            "--threshold" => {
+                threshold = args.get(i + 1).map(String::as_str);
+                i += 1;
+            }
+            other if other.starts_with("--") && other != "--trace-out" => {
+                return Err(LdmoError::usage(format!("unknown trace option '{other}'")));
+            }
+            "--trace-out" => i += 1, // handled globally by trace_setup
+            other => pos.push(other),
+        }
+        i += 1;
+    }
+    match pos.first().copied() {
+        Some("summarize") => {
+            let files = &pos[1..];
+            if files.is_empty() {
+                return Err(LdmoError::usage(
+                    "usage: ldmo trace summarize [--reconcile] FILE..",
+                ));
+            }
+            let mut merged = Trace::default();
+            for file in files {
+                let trace =
+                    Trace::load(Path::new(file)).map_err(trace_error(format!("trace '{file}'")))?;
+                merged.merge(trace);
+            }
+            print!("{}", render_summary(&merged));
+            if reconcile {
+                let checked = merged
+                    .reconcile_flow_timing(0.01)
+                    .map_err(trace_error("flow-timing reconciliation"))?;
+                println!(
+                    "reconcile: {checked} flow.run span(s) match their FlowTiming buckets within 1%"
+                );
+            }
+            Ok(())
+        }
+        Some("diff") => {
+            let (old_file, new_file) = match (pos.get(1), pos.get(2)) {
+                (Some(o), Some(n)) => (*o, *n),
+                _ => {
+                    return Err(LdmoError::usage(
+                        "usage: ldmo trace diff OLD NEW [--threshold R]",
+                    ))
+                }
+            };
+            let threshold: f64 = match threshold {
+                Some(t) => t
+                    .parse()
+                    .map_err(|_| LdmoError::usage(format!("--threshold '{t}' is not a number")))?,
+                None => 1.5,
+            };
+            if threshold <= 1.0 {
+                return Err(LdmoError::usage(
+                    "--threshold must be > 1.0 (it is a growth ratio)",
+                ));
+            }
+            let old = Trace::load(Path::new(old_file))
+                .map_err(trace_error(format!("trace '{old_file}'")))?;
+            let new = Trace::load(Path::new(new_file))
+                .map_err(trace_error(format!("trace '{new_file}'")))?;
+            let rows = diff(&old, &new, threshold);
+            print!("{}", render_diff(&rows, 40));
+            if rows.iter().any(|r| r.regressed) {
+                return Err(LdmoError::Degraded {
+                    context: format!("trace diff {old_file} -> {new_file}"),
+                    reason: ldmo::guard::DegradeReason::PerfRegression,
+                });
+            }
+            Ok(())
+        }
+        _ => Err(LdmoError::usage(
+            "usage: ldmo trace summarize FILE.. | ldmo trace diff OLD NEW",
+        )),
+    }
+}
+
+fn cmd_bench_report(args: &[String]) -> Result<(), LdmoError> {
+    use ldmo::bench::report::BenchReport;
+    let (pos, _) = split_options(args);
+    let dir = pos.first().copied().unwrap_or("bench_out");
+    let reports = BenchReport::load_dir(Path::new(dir))
+        .map_err(trace_error(format!("bench reports in '{dir}'")))?;
+    if reports.is_empty() {
+        return Err(LdmoError::usage(format!(
+            "no BENCH_*.json reports in '{dir}'"
+        )));
+    }
+    for report in &reports {
+        println!(
+            "{} — rev {}, {} thread(s){}, {} result(s)",
+            report.name,
+            report.git_rev,
+            report.threads,
+            if report.fast { ", fast mode" } else { "" },
+            report.results.len()
+        );
+        // time-valued rows render human-scaled; anything else keeps its
+        // unit verbatim
+        let fmt = |value: f64, unit: &str| -> String {
+            let secs = match unit {
+                "ns" => value / 1e9,
+                "s" => value,
+                _ => return format!("{value:.1} {unit}"),
+            };
+            if secs >= 1.0 {
+                format!("{secs:.2}s")
+            } else if secs >= 1e-3 {
+                format!("{:.2}ms", secs * 1e3)
+            } else {
+                format!("{:.2}µs", secs * 1e6)
+            }
+        };
+        for r in &report.results {
+            let meta = if r.meta.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> =
+                    r.meta.iter().map(|(k, v)| format!("{k}={v:.0}")).collect();
+                format!("  [{}]", parts.join(", "))
+            };
+            println!(
+                "  {:<44} {:>10} (n={}, min {}, max {}){meta}",
+                r.id,
+                fmt(r.median, &r.unit),
+                r.n,
+                fmt(r.min, &r.unit),
+                fmt(r.max, &r.unit)
+            );
+        }
+    }
     Ok(())
 }
 

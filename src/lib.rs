@@ -10,6 +10,7 @@
 //! - `train_predictor.rs` — build a training set and train the CNN
 //! - `sampling_demo.rs` — SIFT / k-medoids / n-wise sampling machinery
 
+pub use ldmo_bench as bench;
 pub use ldmo_core as core;
 pub use ldmo_decomp as decomp;
 pub use ldmo_geom as geom;

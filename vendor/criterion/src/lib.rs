@@ -11,11 +11,31 @@
 //! in bulk. Results print as `group/name  time: [min median max]`, which is
 //! enough to compare two benchmarks in the same run (e.g. the allocating
 //! versus workspace ILT step).
+//!
+//! Two workspace extensions beyond the upstream API surface:
+//!
+//! - `LDMO_FAST=1` shrinks warmup and sample counts for smoke/CI runs,
+//!   mirroring the bench bins' convention.
+//! - `--json-out PATH` (forwarded by `cargo bench -- --json-out …`) writes
+//!   a machine-readable `BENCH_<crate>.json` in the `ldmo-bench-report`
+//!   schema (see `ldmo-bench::report` and DESIGN.md §12). The report name
+//!   comes from [`criterion_main!`], which embeds `CARGO_CRATE_NAME`.
 
 #![warn(missing_docs)]
 
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Whether `LDMO_FAST=1` requested a shrunk smoke run.
+fn fast_mode() -> bool {
+    std::env::var("LDMO_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Completed benchmarks of the current process, drained by [`finalize`].
+/// Global because `criterion_group!` runner functions create and drop their
+/// own [`Criterion`] instances.
+static COMPLETED: Mutex<Vec<(String, Vec<Duration>)>> = Mutex::new(Vec::new());
 
 /// Opaque value barrier preventing the optimizer from deleting benchmark
 /// work.
@@ -47,11 +67,20 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(samples: usize) -> Self {
-        Bencher {
-            samples,
-            warmup: Duration::from_millis(300),
-            target_sample_time: Duration::from_millis(5),
-            recorded: Vec::new(),
+        if fast_mode() {
+            Bencher {
+                samples: samples.clamp(2, 5),
+                warmup: Duration::from_millis(30),
+                target_sample_time: Duration::from_millis(1),
+                recorded: Vec::new(),
+            }
+        } else {
+            Bencher {
+                samples,
+                warmup: Duration::from_millis(300),
+                target_sample_time: Duration::from_millis(5),
+                recorded: Vec::new(),
+            }
         }
     }
 
@@ -121,7 +150,90 @@ impl Bencher {
             fmt_duration(med),
             fmt_duration(max)
         );
+        if let Ok(mut completed) = COMPLETED.lock() {
+            completed.push((id.to_owned(), self.recorded.clone()));
+        }
     }
+}
+
+/// Writes the `BENCH_<name>.json` report when `--json-out PATH` is present
+/// in the process arguments (a directory target receives `BENCH_<name>.json`
+/// inside it). Called by [`criterion_main!`] with `CARGO_CRATE_NAME` after
+/// all groups ran; a no-op without the flag.
+pub fn finalize(name: &str) {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(target) = args
+        .windows(2)
+        .rfind(|pair| pair[0] == "--json-out")
+        .map(|pair| std::path::PathBuf::from(&pair[1]))
+    else {
+        return;
+    };
+    let path = if target.is_dir() || target.to_str().is_some_and(|s| s.ends_with('/')) {
+        target.join(format!("BENCH_{name}.json"))
+    } else {
+        target
+    };
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, render_report(name)) {
+        Ok(()) => eprintln!("[criterion] report written to {}", path.display()),
+        Err(e) => eprintln!("[criterion] could not write {}: {e}", path.display()),
+    }
+}
+
+/// Serializes all completed benchmarks in the `ldmo-bench-report` schema
+/// (kept in sync with `ldmo-bench::report::BenchReport::to_json` — this
+/// crate cannot depend on the workspace, so it carries its own writer).
+fn render_report(name: &str) -> String {
+    let completed = COMPLETED.lock().map(|c| c.clone()).unwrap_or_default();
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = format!(
+        "{{\"schema\":\"ldmo-bench-report\",\"version\":1,\
+         \"name\":\"{}\",\"git_rev\":\"{}\",\"threads\":{threads},\
+         \"fast\":{},\"written_unix_ms\":{unix_ms},\"results\":[",
+        escape(name),
+        escape(&git_rev),
+        fast_mode()
+    );
+    for (i, (id, samples)) in completed.iter().enumerate() {
+        let mut ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let (min, median, max, mean) = if ns.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (
+                ns[0],
+                ns[ns.len() / 2],
+                ns[ns.len() - 1],
+                ns.iter().sum::<f64>() / ns.len() as f64,
+            )
+        };
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            " {{\"id\":\"{}\",\"unit\":\"ns\",\"n\":{},\"min\":{min},\
+             \"median\":{median},\"max\":{max},\"mean\":{mean}}}",
+            escape(id),
+            ns.len()
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -219,7 +331,9 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` that runs each group in order.
+/// Declares the bench `main` that runs each group in order, then writes the
+/// `BENCH_<crate>.json` report when `--json-out` was passed (the report is
+/// named after the bench target's crate name).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
@@ -227,6 +341,7 @@ macro_rules! criterion_main {
             $(
                 $group();
             )+
+            $crate::finalize(env!("CARGO_CRATE_NAME"));
         }
     };
 }
