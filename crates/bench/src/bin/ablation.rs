@@ -53,6 +53,7 @@ fn run_suite(flow: &mut LdmoFlow, suite: &[(String, ldmo_layout::Layout)]) -> (u
 fn main() {
     let trace_out = ldmo_obs::trace_setup();
     ldmo_par::cli_setup();
+    ldmo_litho::backend::cli_setup();
     let suite = suite();
     let mut report = BenchReport::new("ablation");
     println!("ABLATIONS over {} evaluation layouts\n", suite.len());

@@ -212,6 +212,12 @@ impl LdmoFlow {
         let mut root = ldmo_obs::span("flow.run");
         root.set("patterns", layout.len() as f64);
         root.set("pool", self.pool.threads() as f64);
+        // which litho backend executes this run's convolutions
+        // (BackendKind::code: 1 scalar, 2 simd, 3 batched)
+        root.set(
+            "backend",
+            f64::from(ldmo_litho::backend::resolved_kind().code()),
+        );
         // one kernel-bank expansion serves the proxy ranking, every abort
         // attempt and the final optimization
         let ctx = {
@@ -308,7 +314,8 @@ impl LdmoFlow {
     /// [`FlowTiming`] buckets in microseconds (`sel_us` + `opt_us` must
     /// reconcile with the span's own duration — `ldmo trace summarize
     /// --reconcile` enforces it within 1%), and the run's peak heap when
-    /// memory profiling is active. Uses all 6 metadata slots.
+    /// memory profiling is active. With the backend tag set at run start
+    /// this uses 7 of the collector's [`ldmo_obs::MAX_SPAN_META`] slots.
     fn stamp_root(
         root: &mut ldmo_obs::Span,
         attempts: usize,
@@ -344,40 +351,48 @@ impl LdmoFlow {
                 // instead of unwinding the whole ranking, and a candidate
                 // that blows the per-candidate deadline (or comes back
                 // degraded) gets the same deterministic penalty treatment.
-                let weights = self.cfg.weights;
-                let deadline = self.cfg.candidate_deadline;
-                let indexed: Vec<(usize, &MaskAssignment)> =
-                    candidates.iter().enumerate().collect();
-                let results = self.pool.par_map_init_catching(
-                    &indexed,
-                    || None::<ldmo_ilt::IltScratch>,
-                    |scratch, &(i, c)| {
-                        // the stall injection simulates a slow candidate,
-                        // so it must land inside the timed window
-                        let started = Instant::now();
-                        fault::apply_stall(i);
-                        fault::maybe_panic(i);
-                        let out = ctx.evaluate_unoptimized_reusing(layout, c, scratch);
-                        if let ldmo_ilt::OutcomeHealth::Degraded { reason } = out.health {
-                            ldmo_obs::incr("guard.candidate_penalized");
-                            return penalty_score(reason);
-                        }
-                        if deadline.is_some_and(|d| started.elapsed() > d) {
-                            ldmo_obs::incr("guard.candidate_penalized");
-                            return penalty_score(DegradeReason::BudgetExhausted);
-                        }
-                        printability_score(&out, &weights)
-                    },
-                );
-                let scores: Vec<f64> = results
-                    .into_iter()
-                    .map(|r| {
-                        r.unwrap_or_else(|_| {
-                            ldmo_obs::incr("guard.candidate_penalized");
-                            penalty_score(DegradeReason::WorkerPanic)
+                // Under the batched backend the forward simulations run in
+                // chunks instead (same scores, amortized kernel loads).
+                let batched =
+                    ldmo_litho::backend::resolved_kind() == ldmo_litho::BackendKind::Batched;
+                let scores = if batched {
+                    self.batched_scores(layout, candidates, ctx)
+                } else {
+                    let weights = self.cfg.weights;
+                    let deadline = self.cfg.candidate_deadline;
+                    let indexed: Vec<(usize, &MaskAssignment)> =
+                        candidates.iter().enumerate().collect();
+                    let results = self.pool.par_map_init_catching(
+                        &indexed,
+                        || None::<ldmo_ilt::IltScratch>,
+                        |scratch, &(i, c)| {
+                            // the stall injection simulates a slow candidate,
+                            // so it must land inside the timed window
+                            let started = Instant::now();
+                            fault::apply_stall(i);
+                            fault::maybe_panic(i);
+                            let out = ctx.evaluate_unoptimized_reusing(layout, c, scratch);
+                            if let ldmo_ilt::OutcomeHealth::Degraded { reason } = out.health {
+                                ldmo_obs::incr("guard.candidate_penalized");
+                                return penalty_score(reason);
+                            }
+                            if deadline.is_some_and(|d| started.elapsed() > d) {
+                                ldmo_obs::incr("guard.candidate_penalized");
+                                return penalty_score(DegradeReason::BudgetExhausted);
+                            }
+                            printability_score(&out, &weights)
+                        },
+                    );
+                    results
+                        .into_iter()
+                        .map(|r| {
+                            r.unwrap_or_else(|_| {
+                                ldmo_obs::incr("guard.candidate_penalized");
+                                penalty_score(DegradeReason::WorkerPanic)
+                            })
                         })
-                    })
-                    .collect();
+                        .collect()
+                };
                 let mut scored: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
                 scored.sort_by(|a, b| a.1.total_cmp(&b.1));
                 scored.into_iter().map(|(i, _)| i).collect()
@@ -390,6 +405,78 @@ impl LdmoFlow {
             }
             SelectionStrategy::First => (0..candidates.len()).collect(),
         }
+    }
+
+    /// `LithoProxy` scores under [`ldmo_litho::BackendKind::Batched`]:
+    /// candidates are pushed through the kernel bank in fixed-size chunks
+    /// via [`IltContext::evaluate_unoptimized_batch`], so every kernel's
+    /// expansion is loaded once per chunk instead of once per candidate.
+    ///
+    /// Three phases keep the scalar path's fault semantics intact:
+    ///
+    /// 1. the per-candidate fault window (stall/panic injection) runs under
+    ///    per-item panic isolation, so a panic penalizes exactly the
+    ///    offending candidate and a stall is charged to its own deadline;
+    /// 2. survivors are chunked by candidate index (boundaries independent
+    ///    of thread count) and each chunk is evaluated in one batch, its
+    ///    wall time divided evenly among its candidates — queue wait for
+    ///    *other* chunks is never charged;
+    /// 3. scores are assembled in candidate index order, applying the same
+    ///    penalty rules as the per-candidate path.
+    ///
+    /// Scores are bit-identical to the per-candidate path (the batch
+    /// evaluator is bit-exact), so the returned ranking only differs where
+    /// wall-clock deadlines fire.
+    fn batched_scores(
+        &self,
+        layout: &Layout,
+        candidates: &[MaskAssignment],
+        ctx: &IltContext,
+    ) -> Vec<f64> {
+        const RANK_BATCH: usize = 8;
+        let weights = self.cfg.weights;
+        let deadline = self.cfg.candidate_deadline;
+        let indices: Vec<usize> = (0..candidates.len()).collect();
+        let prep = self.pool.par_map_catching(&indices, |&i| {
+            let started = Instant::now();
+            fault::apply_stall(i);
+            fault::maybe_panic(i);
+            started.elapsed()
+        });
+        let survivors: Vec<usize> = prep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_ok().then_some(i))
+            .collect();
+        let chunks: Vec<&[usize]> = survivors.chunks(RANK_BATCH).collect();
+        let evaluated = self.pool.par_map(&chunks, |chunk| {
+            let started = Instant::now();
+            let assignments: Vec<&[u8]> = chunk.iter().map(|&i| candidates[i].as_slice()).collect();
+            let outs = ctx.evaluate_unoptimized_batch(layout, &assignments);
+            (outs, started.elapsed() / chunk.len() as u32)
+        });
+        let mut scores = vec![0.0f64; candidates.len()];
+        for (i, r) in prep.iter().enumerate() {
+            if r.is_err() {
+                ldmo_obs::incr("guard.candidate_penalized");
+                scores[i] = penalty_score(DegradeReason::WorkerPanic);
+            }
+        }
+        for (chunk, (outs, share)) in chunks.iter().zip(evaluated) {
+            for (&i, out) in chunk.iter().zip(outs) {
+                let prep_time = match &prep[i] {
+                    Ok(d) => *d,
+                    Err(_) => continue,
+                };
+                scores[i] = if deadline.is_some_and(|d| prep_time + share > d) {
+                    ldmo_obs::incr("guard.candidate_penalized");
+                    penalty_score(DegradeReason::BudgetExhausted)
+                } else {
+                    printability_score(&out, &weights)
+                };
+            }
+        }
+        scores
     }
 }
 

@@ -41,20 +41,33 @@ fn step_one_is_allocation_free_after_warmup() {
         ldmo_obs::alloc::installed(),
         "the counting allocator must have observed the setup allocations"
     );
-    let mut session = IltSession::new(&layout, &[0, 1, 1, 0], &IltConfig::default());
-    // warmup: the first iterations populate anything touched lazily
-    // (including lazy metric registration in ldmo-obs)
-    session.step_one();
-    session.step_one();
+    // Every backend must keep the hot loop allocation-free — the SIMD
+    // passes use the same caller-owned buffers as scalar, and the batched
+    // backend's per-pass arithmetic is the SIMD path. One loop in one test:
+    // the counting allocator is process-global, so parallel per-backend
+    // tests would observe each other's setup allocations.
+    use ldmo_litho::backend::{self, BackendKind};
+    let prev = backend::backend_kind();
+    for kind in [BackendKind::Scalar, BackendKind::Simd, BackendKind::Batched] {
+        backend::set_backend(kind);
+        let mut session = IltSession::new(&layout, &[0, 1, 1, 0], &IltConfig::default());
+        // warmup: the first iterations populate anything touched lazily
+        // (including lazy metric registration in ldmo-obs and the SIMD
+        // feature-detection cache)
+        session.step_one();
+        session.step_one();
 
-    let before = alloc_event_count();
-    let l2 = session.step_one();
-    let allocated = alloc_event_count() - before;
-    assert!(l2.is_finite());
-    assert_eq!(
-        allocated, 0,
-        "step_one performed {allocated} heap allocations; the hot path must reuse session buffers"
-    );
+        let before = alloc_event_count();
+        let l2 = session.step_one();
+        let allocated = alloc_event_count() - before;
+        assert!(l2.is_finite());
+        assert_eq!(
+            allocated, 0,
+            "step_one under backend '{kind}' performed {allocated} heap allocations; \
+             the hot path must reuse session buffers"
+        );
+    }
+    backend::set_backend(prev);
     // the self-profiling counters themselves must have seen real traffic
     assert!(ldmo_obs::alloc::peak_bytes() > 0);
     assert!(ldmo_obs::alloc::current_bytes() <= ldmo_obs::alloc::peak_bytes());

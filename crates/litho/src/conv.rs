@@ -63,6 +63,9 @@ pub fn convolve_separable(input: &Grid, profile: &[f32]) -> Grid {
 /// `tmp`, the column pass into `out`. Neither buffer's prior contents
 /// matter; both are fully overwritten. Allocation-free.
 ///
+/// Dispatches to the process-global [`crate::backend`] selection; every
+/// in-tree backend is bit-identical, so the choice affects speed only.
+///
 /// # Panics
 ///
 /// Panics if `profile.len()` is even or either buffer's shape differs from
@@ -71,8 +74,7 @@ pub fn convolve_separable_into(input: &Grid, profile: &[f32], tmp: &mut Grid, ou
     if ldmo_obs::enabled() {
         conv_pass_counter().incr();
     }
-    convolve_rows_into(input, profile, tmp);
-    convolve_cols_into(tmp, profile, out);
+    crate::backend::active().convolve_separable_into(input, profile, tmp, out);
 }
 
 /// Telemetry: one count per separable convolution pass (row + column
@@ -107,7 +109,9 @@ const TILE: usize = 32;
 /// needing more (width + 2·radius) fall back to one heap allocation.
 const PAD_STACK: usize = 1024;
 
-fn convolve_rows_into(input: &Grid, profile: &[f32], out: &mut Grid) {
+/// The scalar row pass of the register-blocked separable convolution — the
+/// reference implementation every backend must reproduce bit-for-bit.
+pub(crate) fn convolve_rows_scalar(input: &Grid, profile: &[f32], out: &mut Grid) {
     assert!(profile.len() % 2 == 1, "profile must be odd-length");
     assert_eq!(input.shape(), out.shape(), "output shape mismatch");
     let (w, h) = input.shape();
@@ -154,7 +158,8 @@ fn convolve_rows_into(input: &Grid, profile: &[f32], out: &mut Grid) {
     }
 }
 
-fn convolve_cols_into(input: &Grid, profile: &[f32], out: &mut Grid) {
+/// The scalar column pass; see [`convolve_rows_scalar`].
+pub(crate) fn convolve_cols_scalar(input: &Grid, profile: &[f32], out: &mut Grid) {
     assert!(profile.len() % 2 == 1, "profile must be odd-length");
     assert_eq!(input.shape(), out.shape(), "output shape mismatch");
     let (w, h) = input.shape();
@@ -192,6 +197,259 @@ fn convolve_cols_into(input: &Grid, profile: &[f32], out: &mut Grid) {
                 a += src[sy as usize * w + xr] * p;
             }
             *o = a;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD passes (x86_64 SSE2/AVX2, runtime-detected)
+//
+// Bit-identity argument: the scalar tile loop accumulates, for each output
+// element j, `acc[j] += padded[...k...][j] * p[k]` in increasing-k order
+// with an unfused f32 multiply then add. The vector passes below keep the
+// identical per-element sequence and merely evaluate 4/8 adjacent j lanes
+// per instruction — `mulps`/`addps` are exact IEEE-754 single ops per lane,
+// and no FMA contraction is ever emitted — so every output bit matches the
+// scalar pass. The tile remainder and all degenerate shapes reuse the same
+// scalar epilogue loops.
+// ---------------------------------------------------------------------------
+
+/// The SIMD row pass: scalar prologue/epilogue with vectorized 32-wide
+/// tiles on x86_64; delegates to [`convolve_rows_scalar`] elsewhere.
+pub(crate) fn convolve_rows_simd(input: &Grid, profile: &[f32], out: &mut Grid) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        assert!(profile.len() % 2 == 1, "profile must be odd-length");
+        assert_eq!(input.shape(), out.shape(), "output shape mismatch");
+        let (w, h) = input.shape();
+        let c = profile.len() / 2;
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        let padded_len = w + 2 * c;
+        let mut stack_buf = [0.0f32; PAD_STACK];
+        let mut heap_buf = Vec::new();
+        let padded: &mut [f32] = if padded_len <= PAD_STACK {
+            &mut stack_buf[..padded_len]
+        } else {
+            heap_buf.resize(padded_len, 0.0);
+            &mut heap_buf
+        };
+        let avx2 = x86::avx2_available();
+        for y in 0..h {
+            padded[c..c + w].copy_from_slice(&src[y * w..(y + 1) * w]);
+            let out_row = &mut dst[y * w..(y + 1) * w];
+            let mut x = 0;
+            while x + TILE <= w {
+                // SAFETY: `x + TILE <= w` keeps every load of
+                // `padded[x + 2c - k .. +TILE]` (k ≤ 2c) and every store of
+                // `out_row[x .. x + TILE]` in bounds; the ISA was detected.
+                unsafe {
+                    if avx2 {
+                        x86::row_tile_avx2(padded, profile, out_row, x, c);
+                    } else {
+                        x86::row_tile_sse2(padded, profile, out_row, x, c);
+                    }
+                }
+                x += TILE;
+            }
+            for (xr, o) in out_row.iter_mut().enumerate().skip(x) {
+                let mut a = 0.0f32;
+                for (k, &p) in profile.iter().enumerate() {
+                    a += padded[xr + 2 * c - k] * p;
+                }
+                *o = a;
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    convolve_rows_scalar(input, profile, out);
+}
+
+/// The SIMD column pass; see [`convolve_rows_simd`].
+pub(crate) fn convolve_cols_simd(input: &Grid, profile: &[f32], out: &mut Grid) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        assert!(profile.len() % 2 == 1, "profile must be odd-length");
+        assert_eq!(input.shape(), out.shape(), "output shape mismatch");
+        let (w, h) = input.shape();
+        let c = profile.len() as i64 / 2;
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        let avx2 = x86::avx2_available();
+        for y in 0..h {
+            let out_row = &mut dst[y * w..(y + 1) * w];
+            let mut x = 0;
+            while x + TILE <= w {
+                // SAFETY: `x + TILE <= w` and the in-range `sy` filter keep
+                // every `src[sy·w + x .. +TILE]` load and the
+                // `out_row[x .. x + TILE]` store in bounds.
+                unsafe {
+                    if avx2 {
+                        x86::col_tile_avx2(src, profile, out_row, x, y, w, h, c);
+                    } else {
+                        x86::col_tile_sse2(src, profile, out_row, x, y, w, h, c);
+                    }
+                }
+                x += TILE;
+            }
+            for (xr, o) in out_row.iter_mut().enumerate().skip(x) {
+                let mut a = 0.0f32;
+                for (k, &p) in profile.iter().enumerate() {
+                    let sy = y as i64 - (k as i64 - c);
+                    if sy < 0 || sy as usize >= h {
+                        continue;
+                    }
+                    a += src[sy as usize * w + xr] * p;
+                }
+                *o = a;
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    convolve_cols_scalar(input, profile, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The unsafe vector tile kernels. Callers guarantee bounds (see the
+    //! SAFETY comments at the call sites); AVX2 entry points additionally
+    //! require the runtime feature check that [`avx2_available`] caches.
+
+    use super::TILE;
+    use std::arch::x86_64::*;
+
+    /// Cached `is_x86_feature_detected!("avx2")` — SSE2 is baseline x86_64
+    /// and needs no check.
+    pub(super) fn avx2_available() -> bool {
+        static AVX2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+
+    /// One 32-wide row-pass output tile at `out_row[x..x+TILE]`, AVX2
+    /// (4 × 8 lanes).
+    ///
+    /// # Safety
+    ///
+    /// `x + TILE <= out_row.len()`, `padded.len() >= x + 2c + TILE`, and
+    /// the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn row_tile_avx2(
+        padded: &[f32],
+        profile: &[f32],
+        out_row: &mut [f32],
+        x: usize,
+        c: usize,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); TILE / 8];
+        for (k, &p) in profile.iter().enumerate() {
+            let pv = _mm256_set1_ps(p);
+            let base = padded.as_ptr().add(x + 2 * c - k);
+            for (i, a) in acc.iter_mut().enumerate() {
+                let s = _mm256_loadu_ps(base.add(8 * i));
+                *a = _mm256_add_ps(*a, _mm256_mul_ps(s, pv));
+            }
+        }
+        let dst = out_row.as_mut_ptr().add(x);
+        for (i, a) in acc.iter().enumerate() {
+            _mm256_storeu_ps(dst.add(8 * i), *a);
+        }
+    }
+
+    /// One 32-wide row-pass output tile, SSE2 (8 × 4 lanes).
+    ///
+    /// # Safety
+    ///
+    /// `x + TILE <= out_row.len()` and `padded.len() >= x + 2c + TILE`.
+    pub(super) unsafe fn row_tile_sse2(
+        padded: &[f32],
+        profile: &[f32],
+        out_row: &mut [f32],
+        x: usize,
+        c: usize,
+    ) {
+        let mut acc = [_mm_setzero_ps(); TILE / 4];
+        for (k, &p) in profile.iter().enumerate() {
+            let pv = _mm_set1_ps(p);
+            let base = padded.as_ptr().add(x + 2 * c - k);
+            for (i, a) in acc.iter_mut().enumerate() {
+                let s = _mm_loadu_ps(base.add(4 * i));
+                *a = _mm_add_ps(*a, _mm_mul_ps(s, pv));
+            }
+        }
+        let dst = out_row.as_mut_ptr().add(x);
+        for (i, a) in acc.iter().enumerate() {
+            _mm_storeu_ps(dst.add(4 * i), *a);
+        }
+    }
+
+    /// One 32-wide column-pass output tile at `out_row[x..x+TILE]`, AVX2.
+    ///
+    /// # Safety
+    ///
+    /// `x + TILE <= w`, `src.len() == w * h`, and the host supports AVX2.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn col_tile_avx2(
+        src: &[f32],
+        profile: &[f32],
+        out_row: &mut [f32],
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        c: i64,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); TILE / 8];
+        for (k, &p) in profile.iter().enumerate() {
+            let sy = y as i64 - (k as i64 - c);
+            if sy < 0 || sy as usize >= h {
+                continue;
+            }
+            let pv = _mm256_set1_ps(p);
+            let base = src.as_ptr().add(sy as usize * w + x);
+            for (i, a) in acc.iter_mut().enumerate() {
+                let s = _mm256_loadu_ps(base.add(8 * i));
+                *a = _mm256_add_ps(*a, _mm256_mul_ps(s, pv));
+            }
+        }
+        let dst = out_row.as_mut_ptr().add(x);
+        for (i, a) in acc.iter().enumerate() {
+            _mm256_storeu_ps(dst.add(8 * i), *a);
+        }
+    }
+
+    /// One 32-wide column-pass output tile, SSE2.
+    ///
+    /// # Safety
+    ///
+    /// `x + TILE <= w` and `src.len() == w * h`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn col_tile_sse2(
+        src: &[f32],
+        profile: &[f32],
+        out_row: &mut [f32],
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        c: i64,
+    ) {
+        let mut acc = [_mm_setzero_ps(); TILE / 4];
+        for (k, &p) in profile.iter().enumerate() {
+            let sy = y as i64 - (k as i64 - c);
+            if sy < 0 || sy as usize >= h {
+                continue;
+            }
+            let pv = _mm_set1_ps(p);
+            let base = src.as_ptr().add(sy as usize * w + x);
+            for (i, a) in acc.iter_mut().enumerate() {
+                let s = _mm_loadu_ps(base.add(4 * i));
+                *a = _mm_add_ps(*a, _mm_mul_ps(s, pv));
+            }
+        }
+        let dst = out_row.as_mut_ptr().add(x);
+        for (i, a) in acc.iter().enumerate() {
+            _mm_storeu_ps(dst.add(4 * i), *a);
         }
     }
 }

@@ -29,11 +29,28 @@ use crate::LithoConfig;
 use ldmo_geom::Grid;
 
 /// One separable Gaussian component of a coherent kernel.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 struct Component {
     sigma: f64,
     amplitude: f32,
     profile: Vec<f32>, // odd-length, unit-sum
+}
+
+/// A deep copy re-materializes the expanded profile buffer, so it counts
+/// as a kernel expansion — this is what makes per-candidate `KernelBank`
+/// deep clones (the reload the `Arc`-shared `IltContext` bank eliminates)
+/// visible in traces, not just profile sampling in `Component::new`.
+impl Clone for Component {
+    fn clone(&self) -> Self {
+        if ldmo_obs::enabled() {
+            kernel_expansion_counter().incr();
+        }
+        Component {
+            sigma: self.sigma,
+            amplitude: self.amplitude,
+            profile: self.profile.clone(),
+        }
+    }
 }
 
 /// Telemetry: one count per sampled 1-D kernel profile. Expansion is a

@@ -7,8 +7,10 @@ use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Maximum numeric metadata fields per span; further [`Span::set`] calls
-/// are dropped silently.
-pub const MAX_SPAN_META: usize = 6;
+/// are dropped silently. Sized for the widest span in the inventory:
+/// `flow.run` carries patterns/pool/backend/attempts/sel_us/opt_us plus
+/// peak_kb under memory profiling.
+pub const MAX_SPAN_META: usize = 8;
 
 /// Maximum span nesting depth tracked for parent attribution; deeper spans
 /// still record but their children attach to the deepest tracked ancestor.

@@ -33,6 +33,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let trace_out = ldmo::obs::trace_setup();
     ldmo::par::cli_setup();
+    ldmo::litho::backend::cli_setup();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match run(&args) {
         // a clean run must also land its trace — a failed trace write is
@@ -109,6 +110,9 @@ fn print_usage() {
          an ldmo-obs JSONL trace and print a span summary to stderr, and\n\
          --threads N (or LDMO_THREADS=N) to size the worker pool; results\n\
          are bit-identical for any thread count\n\n\
+         --backend {{auto,scalar,simd,batched}} (or LDMO_BACKEND=..) picks\n\
+         the litho convolution backend (DESIGN.md §13); all backends are\n\
+         bit-identical, 'auto' resolves to the fastest available\n\n\
          LDMO_FAULTS=SPEC installs a deterministic fault-injection plan\n\
          (see DESIGN.md §11); exit codes: 2 usage, 3 parse, 4 model, 5 I/O,\n\
          6 trace, 7 bad fault spec, 8 degraded"

@@ -147,6 +147,74 @@ fn training_is_thread_count_invariant() {
 }
 
 #[test]
+fn golden_holds_on_every_backend_at_1_and_4_threads() {
+    // the litho backends are bit-identical (DESIGN.md §13), so the
+    // testcase-1 golden must hold under every selection, serial and
+    // threaded — backend choice may only change speed, never numbers
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    use ldmo::litho::backend::{self, BackendKind};
+    let (_, layout) = cells::all_cells().into_iter().next().expect("cells");
+    let assignment = suald_decompose(&layout);
+    let cfg = IltConfig::default();
+    let prev = backend::backend_kind();
+    for kind in [
+        BackendKind::Scalar,
+        BackendKind::Simd,
+        BackendKind::Batched,
+        BackendKind::Auto,
+    ] {
+        backend::set_backend(kind);
+        let (a, b) = serial_vs_threaded(|| optimize(&layout, &assignment, &cfg));
+        for (threads, out) in [(1, &a), (4, &b)] {
+            assert_eq!(
+                format!("{:.3e}", out.l2),
+                "8.970e2",
+                "golden broke under backend '{kind}' at {threads} threads: {:.10e}",
+                out.l2
+            );
+            assert_eq!(out.epe.violations(), 0, "backend '{kind}'");
+        }
+        assert_eq!(a.l2.to_bits(), b.l2.to_bits(), "backend '{kind}'");
+        assert_eq!(a.masks, b.masks, "backend '{kind}'");
+    }
+    backend::set_backend(prev);
+}
+
+#[test]
+fn flow_ranking_is_backend_invariant() {
+    // the batched ranking path (chunked kernel-major evaluation) must
+    // select the same decomposition as the per-candidate path, at any
+    // thread count — chunk boundaries are keyed on candidate indices only
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    use ldmo::litho::backend::{self, BackendKind};
+    let (_, layout) = cells::all_cells().into_iter().next().expect("cells");
+    let cfg = FlowConfig {
+        ilt: IltConfig {
+            max_iterations: 6,
+            ..IltConfig::default()
+        },
+        ..FlowConfig::default()
+    };
+    let prev = backend::backend_kind();
+    let mut results = Vec::new();
+    for kind in [BackendKind::Scalar, BackendKind::Batched] {
+        backend::set_backend(kind);
+        let (a, b) = serial_vs_threaded(|| {
+            LdmoFlow::new(cfg.clone(), SelectionStrategy::LithoProxy).run(&layout)
+        });
+        assert_eq!(a.assignment, b.assignment, "backend '{kind}'");
+        assert_eq!(a.outcome.l2.to_bits(), b.outcome.l2.to_bits());
+        results.push(a);
+    }
+    backend::set_backend(prev);
+    let (scalar, batched) = (&results[0], &results[1]);
+    assert_eq!(scalar.assignment, batched.assignment);
+    assert_eq!(scalar.attempts, batched.attempts);
+    assert_eq!(scalar.outcome.l2.to_bits(), batched.outcome.l2.to_bits());
+    assert_eq!(scalar.outcome.masks, batched.outcome.masks);
+}
+
+#[test]
 fn flow_run_is_thread_count_invariant() {
     let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (_, layout) = cells::all_cells().into_iter().next().expect("cells");

@@ -212,8 +212,11 @@ fn flow_trace_stays_parseable_with_four_threads() {
         }
     }
 
-    // worker-side ilt.evaluate spans must hang off the flow.rank span
-    // through the adopted parent, not float at the root
+    // worker-side evaluation spans must hang off the flow.rank span
+    // through the adopted parent, not float at the root. The span name
+    // depends on the litho backend: per-candidate `ilt.evaluate` on the
+    // scalar/simd paths, chunked `ilt.evaluate_batch` under
+    // LDMO_BACKEND=batched (DESIGN.md §13).
     let rank_id = spans
         .iter()
         .find(|s| s.get("name").and_then(|v| v.as_str()) == Some("flow.rank"))
@@ -222,14 +225,19 @@ fn flow_trace_stays_parseable_with_four_threads() {
         .expect("flow.rank span id");
     let evals: Vec<_> = spans
         .iter()
-        .filter(|s| s.get("name").and_then(|v| v.as_str()) == Some("ilt.evaluate"))
+        .filter(|s| {
+            matches!(
+                s.get("name").and_then(|v| v.as_str()),
+                Some("ilt.evaluate") | Some("ilt.evaluate_batch")
+            )
+        })
         .collect();
-    assert!(!evals.is_empty(), "ranking must record ilt.evaluate spans");
+    assert!(!evals.is_empty(), "ranking must record evaluation spans");
     for e in &evals {
         assert_eq!(
             e.get("parent").and_then(|v| v.as_f64()),
             Some(rank_id),
-            "ilt.evaluate must nest under flow.rank"
+            "candidate evaluation must nest under flow.rank"
         );
     }
 
