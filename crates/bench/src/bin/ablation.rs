@@ -54,6 +54,7 @@ fn main() {
     let trace_out = ldmo_obs::trace_setup();
     ldmo_par::cli_setup();
     ldmo_litho::backend::cli_setup();
+    let _live = ldmo_bench::live_setup();
     let suite = suite();
     let mut report = BenchReport::new("ablation");
     println!("ABLATIONS over {} evaluation layouts\n", suite.len());

@@ -21,6 +21,7 @@ fn main() {
     let trace_out = ldmo_obs::trace_setup();
     ldmo_par::cli_setup();
     ldmo_litho::backend::cli_setup();
+    let _live = ldmo_bench::live_setup();
     let mut ilt = IltConfig::default();
     if fast_mode() {
         ilt.max_iterations = 8;

@@ -33,6 +33,7 @@ fn main() {
     let trace_out = ldmo_obs::trace_setup();
     ldmo_par::cli_setup();
     ldmo_litho::backend::cli_setup();
+    let _live = ldmo_bench::live_setup();
     let fast = fast_mode();
     let mut ilt = IltConfig::default();
     if fast {

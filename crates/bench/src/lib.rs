@@ -31,6 +31,38 @@ pub fn fast_mode() -> bool {
     std::env::var("LDMO_FAST").is_ok_and(|v| v == "1")
 }
 
+/// The live-ops guards a bench binary holds for the duration of its run:
+/// the `/metrics` endpoint server and the sampling profiler, both `None`
+/// unless requested (`--metrics-addr` / `--sample-hz` or their env
+/// equivalents). Dropping this stops both.
+pub struct LiveOps {
+    /// The metrics endpoint server guard.
+    pub server: Option<ldmo_obs::serve::MetricsServer>,
+    /// The sampling-profiler guard.
+    pub sampler: Option<ldmo_obs::profiler::Sampler>,
+}
+
+/// One-call live-ops setup for the bench bins, mirroring the `ldmo` CLI:
+/// installs the crash hooks (panic → trace flush + flight dump), then
+/// starts the metrics endpoint and the sampling profiler when the CLI or
+/// environment asks for them. Call after [`ldmo_obs::trace_setup`] so the
+/// crash path knows the trace destination; keep the returned guard alive
+/// until the run ends.
+pub fn live_setup() -> LiveOps {
+    ldmo_guard::ops::install_crash_hooks();
+    // bench bins honor LDMO_FAULTS like the ldmo CLI does — chaos runs
+    // against the real workloads are how the flight recorder is exercised
+    // in CI; a malformed spec is a hard error (exit 7), not a silent no-op
+    if let Err(e) = ldmo_guard::fault::init_from_env() {
+        eprintln!("error: {e}");
+        std::process::exit(7);
+    }
+    LiveOps {
+        server: ldmo_obs::serve::cli_setup(),
+        sampler: ldmo_obs::profiler::cli_setup(),
+    }
+}
+
 /// The 13 Table-I testcases: the 8 NanGate-like cell templates plus 5
 /// seeded generator layouts, mirroring the paper's 13 NanGate testcases.
 pub fn testcases() -> Vec<(String, Layout)> {

@@ -35,6 +35,7 @@
 pub mod budget;
 pub mod error;
 pub mod fault;
+pub mod ops;
 
 pub use budget::{Budget, BudgetClock};
 pub use error::LdmoError;

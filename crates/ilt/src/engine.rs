@@ -518,6 +518,11 @@ impl IltSession {
         if self.degraded.is_none() {
             self.degraded = Some(reason);
             ldmo_obs::incr("guard.degraded");
+            if matches!(reason, DegradeReason::DivergenceLimit) {
+                // rollback budget exhausted: capture the flight ring while
+                // the divergent tail is still in it
+                let _ = ldmo_guard::ops::dump_flight("divergence-limit");
+            }
         }
     }
 

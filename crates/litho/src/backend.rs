@@ -335,7 +335,9 @@ pub fn cli_setup() -> BackendKind {
     if let Some(kind) = requested {
         set_backend(kind);
     }
-    resolved_kind()
+    let resolved = resolved_kind();
+    ldmo_obs::set_run_info("backend", resolved.as_str());
+    resolved
 }
 
 #[cfg(test)]

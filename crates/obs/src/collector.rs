@@ -2,8 +2,8 @@
 //! fixed-capacity convergence-record buffer.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Maximum numeric metadata fields per span; further [`Span::set`] calls
@@ -98,6 +98,141 @@ impl Collector {
     }
 }
 
+/// Microseconds since the collector epoch (process uptime as telemetry
+/// sees it).
+pub(crate) fn now_us() -> u64 {
+    collector().now_us()
+}
+
+// ---------------------------------------------------------------------------
+// Span-name intern table: maps `&'static str` span names to small integer
+// keys (index + 1; 0 = "no name"). The flight ring and the sampler mirror
+// store keys, never pointers, so a torn or stale read can at worst resolve
+// to a *different registered name* — it can never be dereferenced as a
+// dangling pointer. Registration locks and may allocate; the set of span
+// names is small and static, so this happens a bounded number of times.
+// ---------------------------------------------------------------------------
+
+static NAME_TABLE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+
+fn name_table() -> &'static Mutex<Vec<&'static str>> {
+    NAME_TABLE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+pub(crate) fn intern_name(name: &'static str) -> usize {
+    let mut table = name_table().lock().expect("name table lock");
+    if let Some(i) = table
+        .iter()
+        .position(|&n| std::ptr::eq(n, name) || n == name)
+    {
+        return i + 1;
+    }
+    table.push(name);
+    table.len()
+}
+
+/// Resolves an intern key back to its span name (`None` for 0 or
+/// out-of-range keys — the caller renders those as unknown).
+pub(crate) fn resolve_name(key: usize) -> Option<&'static str> {
+    if key == 0 {
+        return None;
+    }
+    name_table()
+        .lock()
+        .expect("name table lock")
+        .get(key - 1)
+        .copied()
+}
+
+// ---------------------------------------------------------------------------
+// Sampler stack mirror: when profiling is on, each thread mirrors its span
+// stack into a shared, atomically-readable shadow so the sampler thread
+// can snapshot any thread's current span path without stopping it. The
+// mirror is maintained only while `MIRROR` is set (profiler running), so
+// unprofiled runs pay a single relaxed load per span open/close. Frames
+// hold intern keys; the sampler reads `depth` then the frames with relaxed
+// loads — a concurrent push/pop can yield an off-by-one-sample stale
+// frame, which resolves to a recently valid name (sampling is statistical,
+// DESIGN.md §14 states the tolerance).
+// ---------------------------------------------------------------------------
+
+pub(crate) struct SharedStack {
+    depth: AtomicUsize,
+    frames: [AtomicUsize; MAX_SPAN_DEPTH],
+    retired: AtomicBool,
+}
+
+impl SharedStack {
+    fn new() -> Self {
+        SharedStack {
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| AtomicUsize::new(0)),
+            retired: AtomicBool::new(false),
+        }
+    }
+
+    /// Snapshot of the thread's current span path as intern keys,
+    /// root-first. Empty when the thread is between spans.
+    pub(crate) fn sample(&self) -> Vec<usize> {
+        let depth = self.depth.load(Ordering::Acquire).min(MAX_SPAN_DEPTH);
+        (0..depth)
+            .map(|i| self.frames[i].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub(crate) fn retired(&self) -> bool {
+        self.retired.load(Ordering::Relaxed)
+    }
+}
+
+static STACK_REGISTRY: OnceLock<Mutex<Vec<Arc<SharedStack>>>> = OnceLock::new();
+static MIRROR: AtomicBool = AtomicBool::new(false);
+
+fn stack_registry() -> &'static Mutex<Vec<Arc<SharedStack>>> {
+    STACK_REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turns the per-thread stack mirroring on or off (profiler start/stop).
+pub(crate) fn set_mirror(on: bool) {
+    MIRROR.store(on, Ordering::SeqCst);
+}
+
+#[inline]
+pub(crate) fn mirror_active() -> bool {
+    MIRROR.load(Ordering::Relaxed)
+}
+
+/// Registered, live shared stacks; retired entries (exited threads) are
+/// pruned as a side effect.
+pub(crate) fn sampler_stacks() -> Vec<Arc<SharedStack>> {
+    let mut registry = stack_registry().lock().expect("stack registry lock");
+    registry.retain(|s| !s.retired());
+    registry.clone()
+}
+
+/// Ensures the calling thread has a shared span stack the sampling
+/// profiler can observe. Worker pools call this once per worker at spawn;
+/// span opens also ensure it lazily while profiling is on. Idempotent and
+/// cheap after the first call.
+pub fn register_sampler_thread() {
+    SPAN_STACK.with(|s| {
+        ensure_shared(&mut s.borrow_mut());
+    });
+}
+
+fn ensure_shared(stack: &mut SpanStack) -> Arc<SharedStack> {
+    if let Some(shared) = &stack.shared {
+        return Arc::clone(shared);
+    }
+    let shared = Arc::new(SharedStack::new());
+    stack_registry()
+        .lock()
+        .expect("stack registry lock")
+        .push(Arc::clone(&shared));
+    stack.shared = Some(Arc::clone(&shared));
+    shared
+}
+
 struct SpanStack {
     ids: [u64; MAX_SPAN_DEPTH],
     depth: usize,
@@ -105,11 +240,27 @@ struct SpanStack {
     /// span that was open on the thread that dispatched to them, so spans
     /// opened inside parallel regions stay attached to the root tree.
     adopted: u64,
+    /// This thread's sampler-visible stack mirror (created on demand).
+    shared: Option<Arc<SharedStack>>,
+}
+
+impl Drop for SpanStack {
+    fn drop(&mut self) {
+        // thread exit: retire the mirror so the sampler stops reading it
+        if let Some(shared) = &self.shared {
+            shared.retired.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 thread_local! {
     static SPAN_STACK: RefCell<SpanStack> = const {
-        RefCell::new(SpanStack { ids: [0; MAX_SPAN_DEPTH], depth: 0, adopted: 0 })
+        RefCell::new(SpanStack {
+            ids: [0; MAX_SPAN_DEPTH],
+            depth: 0,
+            adopted: 0,
+            shared: None,
+        })
     };
 }
 
@@ -153,10 +304,12 @@ pub struct Span {
     id: u64,
     parent: u64,
     name: &'static str,
+    name_key: usize,
     start: Instant,
     start_us: u64,
     meta: [Option<(&'static str, f64)>; MAX_SPAN_META],
     active: bool,
+    mirrored: bool,
 }
 
 /// Opens a span named `name` under the current thread's innermost span.
@@ -170,15 +323,25 @@ pub fn span(name: &'static str) -> Span {
             id: 0,
             parent: 0,
             name,
+            name_key: 0,
             start,
             start_us: 0,
             meta: [None; MAX_SPAN_META],
             active: false,
+            mirrored: false,
         };
     }
     let c = collector();
     let id = c.next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
     let parent = current_span();
+    // the intern key feeds the flight ring and the sampler mirror; only
+    // computed when at least one of them can observe it
+    let name_key = if crate::flight::active() || mirror_active() {
+        intern_name(name)
+    } else {
+        0
+    };
+    let mut mirrored = false;
     SPAN_STACK.with(|s| {
         let mut s = s.borrow_mut();
         if s.depth < MAX_SPAN_DEPTH {
@@ -186,15 +349,28 @@ pub fn span(name: &'static str) -> Span {
             s.ids[d] = id;
         }
         s.depth += 1;
+        if mirror_active() {
+            let shared = ensure_shared(&mut s);
+            let d = shared.depth.load(Ordering::Relaxed);
+            if d < MAX_SPAN_DEPTH {
+                shared.frames[d].store(name_key, Ordering::Relaxed);
+            }
+            shared.depth.store(d + 1, Ordering::Release);
+            // each span pops exactly what it pushed, even if the profiler
+            // stops (or starts) while it is open
+            mirrored = true;
+        }
     });
     Span {
         id,
         parent,
         name,
+        name_key,
         start,
         start_us: c.now_us(),
         meta: [None; MAX_SPAN_META],
         active: true,
+        mirrored,
     }
 }
 
@@ -243,9 +419,24 @@ impl Drop for Span {
             if s.depth > 0 {
                 s.depth -= 1;
             }
+            if self.mirrored {
+                if let Some(shared) = &s.shared {
+                    let d = shared.depth.load(Ordering::Relaxed);
+                    shared.depth.store(d.saturating_sub(1), Ordering::Release);
+                }
+            }
         });
         let c = collector();
         let dur_us = self.start.elapsed().as_micros() as u64;
+        if crate::flight::active() {
+            let key = if self.name_key != 0 {
+                self.name_key
+            } else {
+                // flight recording turned on after this span opened
+                intern_name(self.name)
+            };
+            crate::flight::record_span(self.id, self.parent, key, self.start_us, dur_us);
+        }
         let event = SpanEvent {
             id: self.id,
             parent: self.parent,
@@ -280,6 +471,16 @@ pub fn convergence(iteration: u32, l2: f64, step_norm: f64, epe_violations: i64)
         step_norm,
         epe_violations,
     };
+    if crate::flight::active() {
+        crate::flight::record_conv(
+            record.span,
+            record.t_us,
+            iteration,
+            l2,
+            step_norm,
+            epe_violations,
+        );
+    }
     let mut records = c.records.lock().expect("records lock");
     if records.len() < records.capacity() {
         records.push(record);

@@ -37,13 +37,18 @@
 pub mod alloc;
 pub mod analyze;
 mod collector;
+pub mod flight;
 pub mod json;
 mod metrics;
+pub mod profiler;
+pub mod serve;
 mod sink;
+pub mod snapshot;
 
 pub use collector::{
     adopt_parent_span, convergence, convergence_capacity, current_span_id, dropped_records,
-    events_snapshot, records_snapshot, span, ConvergenceRecord, Span, SpanEvent, MAX_SPAN_META,
+    events_snapshot, records_snapshot, register_sampler_thread, span, ConvergenceRecord, Span,
+    SpanEvent, MAX_SPAN_META,
 };
 pub use metrics::{
     counter, counters_snapshot, gauge, gauges_snapshot, histogram, histograms_snapshot, Counter,
@@ -53,6 +58,7 @@ pub use sink::{flush_jsonl, summary, write_jsonl};
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -82,6 +88,7 @@ pub fn incr(name: &'static str) {
 /// is allocated here, so recording afterwards stays allocation-free.
 pub fn enable() {
     collector::collector(); // force allocation of all buffers up front
+    flight::init_from_env(); // the flight ring preallocates alongside
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -96,6 +103,7 @@ pub fn disable() {
 pub fn reset() {
     collector::reset();
     metrics::reset();
+    profiler::reset();
 }
 
 /// Enables the collector when the environment asks for it
@@ -107,13 +115,76 @@ pub fn init_from_env() -> bool {
     enabled()
 }
 
+// ---------------------------------------------------------------------------
+// Run info: a small key/value registry describing the process (git rev,
+// thread count, litho backend, …) that rides along in every flight-recorder
+// dump header. Populated by the setup calls that know the values —
+// `ldmo_par::cli_setup` sets `threads`, the litho backend setup sets
+// `backend` — so the obs crate stays dependency-free.
+// ---------------------------------------------------------------------------
+
+static RUN_INFO: OnceLock<Mutex<Vec<(&'static str, String)>>> = OnceLock::new();
+
+fn run_info() -> &'static Mutex<Vec<(&'static str, String)>> {
+    RUN_INFO.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records (or overwrites) one run-info entry, e.g. `("threads", "4")`.
+/// Entries appear in every flight-recorder dump header ([`flight::dump`]).
+pub fn set_run_info(key: &'static str, value: impl Into<String>) {
+    let value = value.into();
+    let mut info = run_info().lock().expect("run info lock");
+    match info.iter_mut().find(|(k, _)| *k == key) {
+        Some((_, v)) => *v = value,
+        None => info.push((key, value)),
+    }
+}
+
+/// All run-info entries, insertion order.
+pub fn run_info_snapshot() -> Vec<(&'static str, String)> {
+    run_info().lock().expect("run info lock").clone()
+}
+
+/// The trace output path registered by [`trace_setup`], if any — what the
+/// crash path flushes to ([`emergency_flush`]).
+static TRACE_PATH: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+
+fn trace_path() -> &'static Mutex<Option<PathBuf>> {
+    TRACE_PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// The JSONL path the current process traces to (`None` when tracing is
+/// off or streaming to stdout).
+pub fn trace_out_path() -> Option<PathBuf> {
+    trace_path().lock().expect("trace path lock").clone()
+}
+
+/// Crash-time best effort, called from the `ldmo-guard` panic hook: flush
+/// the JSONL trace to the registered [`trace_out_path`] (so a crashed run
+/// leaves a terminated trace, not a truncated tail) and dump the flight
+/// ring. Every failure is swallowed — this runs while the process is
+/// already dying.
+pub fn emergency_flush(reason: &str) {
+    if let Some(path) = trace_out_path() {
+        match flush_jsonl(&path) {
+            Ok(lines) => eprintln!(
+                "[trace] {reason}: {lines} events flushed to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("[trace] {reason}: could not write {}: {e}", path.display()),
+        }
+    }
+    flight::dump(reason);
+}
+
 /// One-call CLI setup shared by the `ldmo` binary and the bench bins.
 ///
 /// Tracing is requested by either a `--trace-out PATH` argument (scanned
 /// from `std::env::args`) or `LDMO_TRACE=1` in the environment; with the
 /// env var alone the output path falls back to `LDMO_TRACE_OUT` and then to
 /// `ldmo_trace.jsonl`. Returns the JSONL output path when tracing was
-/// enabled, for a matching [`trace_finish`] at the end of the run.
+/// enabled, for a matching [`trace_finish`] at the end of the run. The
+/// path is also registered for the crash path ([`emergency_flush`]).
 pub fn trace_setup() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     let mut out: Option<PathBuf> = None;
@@ -126,8 +197,11 @@ pub fn trace_setup() -> Option<PathBuf> {
         let path = std::env::var("LDMO_TRACE_OUT").unwrap_or_else(|_| "ldmo_trace.jsonl".into());
         out = Some(PathBuf::from(path));
     }
-    if out.is_some() {
+    if let Some(path) = &out {
         enable();
+        if path.as_os_str() != "-" {
+            *trace_path().lock().expect("trace path lock") = Some(path.clone());
+        }
     }
     out
 }

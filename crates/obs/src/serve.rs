@@ -1,0 +1,265 @@
+//! The live-ops export endpoint: a dependency-free mini-HTTP server on
+//! `std::net::TcpListener` serving the collector's state while a run is
+//! in flight.
+//!
+//! Routes (DESIGN.md §14):
+//!
+//! - `GET /metrics` — Prometheus text exposition (version 0.0.4):
+//!   counters as `ldmo_<name>_total`, gauges as `ldmo_<name>`, histograms
+//!   rendered from the log2 buckets with integer-exact `le` bounds.
+//!   Unregistered metrics are *omitted*, never zero-reported — a gauge
+//!   that was never set (e.g. `mem.*` without a counting allocator) does
+//!   not appear.
+//! - `GET /snapshot` — one [`crate::snapshot::MetricsSnapshot`] as JSON,
+//!   with a delta against the previous `/snapshot` request.
+//! - `GET /spans` — the flight-recorder ring as JSONL (`Trace::parse`
+//!   compatible), newest-capacity window of span closes and convergence
+//!   rows.
+//! - `GET /` — a plain-text index of the routes.
+//!
+//! The server runs one detached accept thread; connections are handled
+//! serially with short timeouts, which is exactly right for a scrape
+//! endpoint and keeps the implementation free of any thread-per-request
+//! machinery. Scrapes read atomics — they never block or perturb the
+//! optimization hot path.
+
+use crate::metrics::{self, HistogramSnapshot, HISTOGRAM_BINS};
+use crate::snapshot::Snapshotter;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics server. The accept loop stops (and the thread joins)
+/// when this guard drops, so binaries hold it for the duration of `main`.
+#[must_use = "the metrics server stops when this guard drops"]
+#[derive(Debug)]
+pub struct MetricsServer {
+    local: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.local
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for an OS-assigned port)
+/// and starts serving. Enables the collector — an ops feed over a
+/// disabled collector would be an empty lie.
+pub fn start(addr: &str) -> io::Result<MetricsServer> {
+    crate::enable();
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("ldmo-metrics".into())
+        .spawn(move || accept_loop(&listener, &stop))?;
+    Ok(MetricsServer {
+        local,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    let mut snapshotter = Snapshotter::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Err(e) = handle_conn(stream, &mut snapshotter) {
+                    eprintln!("[metrics] connection error: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("[metrics] accept error: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, snapshotter: &mut Snapshotter) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+    }
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &prometheus_text(),
+        ),
+        "/snapshot" => {
+            let (snapshot, delta) = snapshotter.take();
+            let mut body = snapshot.to_json_with(delta.as_ref());
+            body.push('\n');
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/spans" => {
+            let mut body = Vec::new();
+            crate::flight::dump_to(&mut body, "live")?;
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/x-ndjson",
+                &String::from_utf8_lossy(&body),
+            )
+        }
+        "/" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain",
+            "ldmo live-ops endpoint\n/metrics  Prometheus text exposition\n\
+             /snapshot sequenced metrics snapshot + delta (JSON)\n\
+             /spans    flight-recorder ring (JSONL)\n",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Sanitizes a metric name for Prometheus: `[a-zA-Z0-9_]` pass through,
+/// everything else (the `.` of `layer.metric` in particular) becomes `_`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Upper bound of log2 bucket `b` as a Prometheus `le` label. Bucket 0
+/// holds exact zeros (`le="0"`); bucket `b ≥ 1` covers `[2^(b-1), 2^b)`,
+/// and since every observation is an integer `u64` the inclusive bound is
+/// exactly `2^b − 1`. The saturating last bucket has no finite bound.
+fn le_label(bucket: usize) -> Option<u64> {
+    match bucket {
+        0 => Some(0),
+        b if b + 1 >= HISTOGRAM_BINS => None,
+        b => Some((1u64 << b) - 1),
+    }
+}
+
+fn render_hist(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    let highest = h.bins.iter().rposition(|&c| c > 0);
+    for (b, &c) in h.bins.iter().enumerate() {
+        cumulative += c;
+        // only emit up to the highest occupied bucket — 64 lines of
+        // trailing repeats per histogram would drown the exposition
+        if highest.is_some_and(|hi| b > hi) {
+            break;
+        }
+        if let Some(le) = le_label(b) {
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format. Only *registered* metrics appear: a gauge nothing ever set —
+/// the `mem.*` family without an installed counting allocator — is
+/// omitted entirely rather than exported as a phantom zero.
+pub fn prometheus_text() -> String {
+    // refresh mem.* first: registers them only when a CountingAlloc is
+    // actually installed and the collector is on
+    crate::alloc::publish_gauges();
+    let mut out = String::from("# TYPE ldmo_up gauge\nldmo_up 1\n");
+    for (name, value) in metrics::counters_snapshot() {
+        let name = format!("ldmo_{}_total", sanitize(name));
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in metrics::gauges_snapshot() {
+        let name = format!("ldmo_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, h) in metrics::histograms_snapshot() {
+        render_hist(&mut out, &format!("ldmo_{}", sanitize(name)), &h);
+    }
+    out
+}
+
+/// One-call CLI setup shared by the `ldmo` binary and the bench bins:
+/// scans `std::env::args` for `--metrics-addr HOST:PORT` (falling back to
+/// the `LDMO_METRICS_ADDR` environment variable) and starts the server.
+/// Returns the guard to keep alive for the duration of the run, or `None`
+/// when no address was requested. A bind failure is reported on stderr
+/// but does not abort the run — losing the ops feed must not lose the
+/// optimization.
+pub fn cli_setup() -> Option<MetricsServer> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut addr: Option<String> = None;
+    for pair in args.windows(2) {
+        if pair[0] == "--metrics-addr" {
+            addr = Some(pair[1].clone());
+        }
+    }
+    if addr.is_none() {
+        addr = std::env::var("LDMO_METRICS_ADDR")
+            .ok()
+            .filter(|a| !a.is_empty());
+    }
+    match start(&addr?) {
+        Ok(server) => {
+            eprintln!(
+                "[metrics] serving /metrics /snapshot /spans on http://{}",
+                server.addr()
+            );
+            Some(server)
+        }
+        Err(e) => {
+            eprintln!("[metrics] could not bind metrics endpoint: {e}");
+            None
+        }
+    }
+}

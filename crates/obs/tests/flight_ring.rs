@@ -1,0 +1,73 @@
+//! Flight-recorder ring semantics: wraparound eviction, dump-order
+//! stability and the meta header. Lives in its own integration-test
+//! binary because ring capacity is first-init-wins per process — the
+//! single test here pins a small capacity before anything else (the
+//! `obs::enable` inside would otherwise size it at the default 4096).
+
+use ldmo_obs as obs;
+use ldmo_obs::analyze::Trace;
+
+#[test]
+fn ring_wraps_evicts_oldest_and_dumps_in_ticket_order() {
+    assert_eq!(obs::flight::init(16), 16);
+    obs::enable();
+    obs::set_run_info("backend", "scalar");
+
+    // 8 convergence rows first, then 40 span closes: the spans overwrite
+    // the whole ring, so the conv rows (the oldest tickets) must be gone
+    {
+        let _span = obs::span("flight.conv_host");
+        for i in 0..8 {
+            obs::convergence(i, 100.0 - f64::from(i), f64::NAN, -1);
+        }
+    }
+    for _ in 0..40 {
+        let _span = obs::span("flight.filler");
+    }
+
+    assert!(obs::flight::active());
+    assert_eq!(obs::flight::capacity(), Some(16));
+    // 8 conv + 1 host span + 40 filler spans = 49 tickets issued
+    assert_eq!(obs::flight::recorded(), 49);
+
+    let events = obs::flight::events();
+    assert_eq!(events.len(), 16, "ring keeps exactly its capacity");
+    let ids: Vec<u64> = events
+        .iter()
+        .map(|e| match e {
+            obs::flight::FlightEvent::Span { id, name, .. } => {
+                assert_eq!(*name, "flight.filler", "older events were evicted");
+                *id
+            }
+            other => panic!("conv rows should have been overwritten: {other:?}"),
+        })
+        .collect();
+    // dump order is ticket order: strictly increasing, contiguous span ids
+    for pair in ids.windows(2) {
+        assert_eq!(pair[1], pair[0] + 1, "events out of ring order: {ids:?}");
+    }
+
+    let mut dump = Vec::new();
+    let lines = obs::flight::dump_to(&mut dump, "test-reason").expect("dump to memory");
+    assert_eq!(lines, 17, "meta header + 16 events");
+    let dump = String::from_utf8(dump).expect("utf-8 dump");
+    let header = dump.lines().next().expect("header line");
+    for needle in [
+        "\"type\":\"meta\"",
+        "\"kind\":\"flight\"",
+        "\"reason\":\"test-reason\"",
+        "\"capacity\":16",
+        "\"recorded\":49",
+        "\"events\":16",
+        "\"backend\":\"scalar\"",
+        &format!("\"pid\":{}", std::process::id()),
+    ] {
+        assert!(header.contains(needle), "header missing {needle}: {header}");
+    }
+
+    // the dump is a valid trace: `ldmo trace summarize` can load it
+    let trace = Trace::parse(&dump).expect("dump parses as a trace");
+    assert_eq!(trace.spans.len(), 16);
+    assert_eq!(trace.skipped_lines, 0);
+    assert!(trace.spans.iter().all(|s| s.name == "flight.filler"));
+}

@@ -126,6 +126,8 @@ fn in_region() -> bool {
 }
 
 fn worker_loop(shared: Arc<Shared>, index: usize, total: usize) {
+    // visible to the sampling profiler even before the first span opens
+    ldmo_obs::register_sampler_thread();
     let mut last_epoch = 0u64;
     loop {
         let job = {
@@ -541,6 +543,7 @@ pub fn global_threads() -> usize {
 /// one test process compare `--threads 1` against `--threads 4` runs.
 pub fn set_global_threads(threads: usize) {
     *global_cell().write().expect("global pool lock") = ThreadPool::new(threads);
+    ldmo_obs::set_run_info("threads", global_threads().to_string());
 }
 
 /// One-call CLI setup shared by the `ldmo` binary and the bench bins:
@@ -562,7 +565,9 @@ pub fn cli_setup() -> usize {
     if let Some(n) = requested {
         set_global_threads(n);
     }
-    global_threads()
+    let threads = global_threads();
+    ldmo_obs::set_run_info("threads", threads.to_string());
+    threads
 }
 
 #[cfg(test)]

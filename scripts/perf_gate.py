@@ -16,6 +16,17 @@ Rows or reports present on only one side are reported but never fatal
 (new benches appear, old ones get renamed). Exit codes: 0 ok, 1 at least
 one row beyond --fail-ratio, 2 usage/loading problem.
 
+--overhead "ROW_A:ROW_B:MAX_RATIO" (repeatable) adds a same-machine
+overhead check: both rows are taken from the *fresh* directory of the
+same run and the gate fails when median(ROW_A) / median(ROW_B) exceeds
+MAX_RATIO. This is how the live-ops overhead bound is enforced
+(ilt/step_liveops vs ilt/step_workspace within 1.05): a tight 5% band is
+only sound when both measurements come from the same machine and run,
+which the committed cross-machine baselines cannot give. Rows are named
+by their row id as it appears in the reports (e.g. ilt/step_liveops) and
+matched across every fresh report. A missing overhead row is fatal
+(exit 2) — silently skipping the check would read as passing it.
+
 Schema contract is DESIGN.md section 12 ("ldmo-bench-report" version 1).
 """
 
@@ -58,6 +69,11 @@ def main():
                         help="median growth beyond this fails the gate")
     parser.add_argument("--warn-ratio", default=3.0, type=float,
                         help="median growth beyond this prints a warning")
+    parser.add_argument("--overhead", action="append", default=[],
+                        metavar="ROW_A:ROW_B:MAX_RATIO",
+                        help="fail when fresh median(ROW_A)/median(ROW_B) "
+                             "exceeds MAX_RATIO (rows as report/row_id; "
+                             "repeatable)")
     args = parser.parse_args()
 
     if args.fail_ratio <= 1.0 or args.warn_ratio <= 1.0:
@@ -113,6 +129,49 @@ def main():
             elif ratio > args.warn_ratio:
                 warnings.append(line)
                 print(f"  [warn] {line}")
+
+    # same-machine overhead checks: both rows from the fresh run. Row ids
+    # are matched across every fresh report (ids like ilt/step_workspace
+    # are globally unique in practice).
+    def fresh_median(row_id):
+        for report in fresh.values():
+            row = report["rows"].get(row_id)
+            if row is None:
+                continue
+            median = row.get("median")
+            if isinstance(median, (int, float)) and median > 0:
+                return median
+        return None
+
+    for spec in args.overhead:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            print(f"perf-gate: bad --overhead spec '{spec}' "
+                  f"(want ROW_A:ROW_B:MAX_RATIO)", file=sys.stderr)
+            return 2
+        row_a, row_b, max_ratio = parts
+        try:
+            max_ratio = float(max_ratio)
+        except ValueError:
+            print(f"perf-gate: bad --overhead ratio in '{spec}'",
+                  file=sys.stderr)
+            return 2
+        a, b = fresh_median(row_a), fresh_median(row_b)
+        if a is None or b is None:
+            missing = row_a if a is None else row_b
+            print(f"perf-gate: --overhead row '{missing}' missing from "
+                  f"fresh reports — the overhead check cannot run",
+                  file=sys.stderr)
+            return 2
+        ratio = a / b
+        line = (f"overhead {row_a} vs {row_b}: {a:.4g}/{b:.4g} = "
+                f"{ratio:.3f}x (max {max_ratio}x)")
+        if ratio > max_ratio:
+            failures.append(line)
+            print(f"  [FAIL] {line}")
+        else:
+            print(f"  [ok]   {line}")
+        compared += 1
 
     print(f"perf-gate: compared {compared} rows across "
           f"{len(set(baseline) & set(fresh))} reports; "

@@ -9,6 +9,7 @@
 //! ldmo train --pool 24 --out w.bin                    train the CNN predictor
 //! ldmo trace summarize trace.jsonl                    span rollups + percentiles
 //! ldmo trace diff old.jsonl new.jsonl                 flag span-time regressions
+//! ldmo trace flame trace.jsonl                        profiler hotspot table
 //! ldmo bench-report bench_out/                        aggregate BENCH_*.json
 //! ```
 //!
@@ -31,17 +32,24 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    ldmo::guard::ops::install_crash_hooks();
     let trace_out = ldmo::obs::trace_setup();
     ldmo::par::cli_setup();
     ldmo::litho::backend::cli_setup();
+    // live-ops guards: the /metrics endpoint and the sampling profiler
+    // stay up for the whole run and shut down when main returns
+    let _metrics = ldmo::obs::serve::cli_setup();
+    let _sampler = ldmo::obs::profiler::cli_setup();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match run(&args) {
         // a clean run must also land its trace — a failed trace write is
         // a real error (exit 6), not a stderr footnote
         Ok(()) => finish_trace(trace_out.as_deref()),
         Err(e) => {
-            // best-effort flush so a failing run still leaves its trace
+            // best-effort flush so a failing run still leaves its trace,
+            // plus a flight-recorder dump saying why it died
             ldmo::obs::trace_finish(trace_out.as_deref());
+            let _ = ldmo::guard::ops::dump_on_error(&e);
             Err(e)
         }
     };
@@ -105,11 +113,20 @@ fn print_usage() {
          \x20           [--reconcile]                  percentiles, convergence digest\n\
          \x20 trace     diff OLD NEW                   flag span-time regressions\n\
          \x20           [--threshold R]                (exit 8 when any regress)\n\
+         \x20 trace     flame FILE..                   profiler hotspot table from\n\
+         \x20           [--out FOLDED.txt]             sample lines (+ folded stacks)\n\
          \x20 bench-report DIR                         aggregate BENCH_*.json reports\n\n\
          every subcommand accepts --trace-out FILE (or LDMO_TRACE=1) to write\n\
          an ldmo-obs JSONL trace and print a span summary to stderr, and\n\
          --threads N (or LDMO_THREADS=N) to size the worker pool; results\n\
          are bit-identical for any thread count\n\n\
+         live-ops: --metrics-addr HOST:PORT (or LDMO_METRICS_ADDR) serves\n\
+         /metrics (Prometheus), /snapshot (JSON) and /spans (JSONL) while\n\
+         the run is in flight; --sample-hz N (or LDMO_SAMPLE_HZ) starts the\n\
+         span-stack sampling profiler (samples land in the trace; analyze\n\
+         with 'ldmo trace flame'); crashes and typed-error exits dump the\n\
+         flight-recorder ring to flight_<pid>.jsonl (LDMO_FLIGHT_DIR, or\n\
+         LDMO_FLIGHT=0 to disable)\n\n\
          --backend {{auto,scalar,simd,batched}} (or LDMO_BACKEND=..) picks\n\
          the litho convolution backend (DESIGN.md §13); all backends are\n\
          bit-identical, 'auto' resolves to the fastest available\n\n\
@@ -314,12 +331,13 @@ fn trace_error(context: impl Into<String>) -> impl FnOnce(String) -> LdmoError {
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), LdmoError> {
-    use ldmo::obs::analyze::{diff, render_diff, render_summary, Trace};
+    use ldmo::obs::analyze::{diff, render_diff, render_flame, render_summary, Trace};
     // parsed by hand: `--reconcile` is a boolean flag, which the generic
     // `split_options` would greedily treat as `--flag value`
     let mut pos: Vec<&str> = Vec::new();
     let mut reconcile = false;
     let mut threshold: Option<&str> = None;
+    let mut folded_out: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -328,10 +346,16 @@ fn cmd_trace(args: &[String]) -> Result<(), LdmoError> {
                 threshold = args.get(i + 1).map(String::as_str);
                 i += 1;
             }
-            other if other.starts_with("--") && other != "--trace-out" => {
+            "--out" => {
+                folded_out = args.get(i + 1).map(String::as_str);
+                i += 1;
+            }
+            // global flags handled by the setup calls in main(); each
+            // consumes one value argument
+            "--trace-out" | "--threads" | "--backend" | "--metrics-addr" | "--sample-hz" => i += 1,
+            other if other.starts_with("--") => {
                 return Err(LdmoError::usage(format!("unknown trace option '{other}'")));
             }
-            "--trace-out" => i += 1, // handled globally by trace_setup
             other => pos.push(other),
         }
         i += 1;
@@ -395,8 +419,31 @@ fn cmd_trace(args: &[String]) -> Result<(), LdmoError> {
             }
             Ok(())
         }
+        Some("flame") => {
+            let files = &pos[1..];
+            if files.is_empty() {
+                return Err(LdmoError::usage(
+                    "usage: ldmo trace flame FILE.. [--out FOLDED.txt]",
+                ));
+            }
+            let mut merged = Trace::default();
+            for file in files {
+                let trace =
+                    Trace::load(Path::new(file)).map_err(trace_error(format!("trace '{file}'")))?;
+                merged.merge(trace);
+            }
+            print!("{}", render_flame(&merged, 40));
+            if let Some(out) = folded_out {
+                // collapsed-stack format, consumable by standard
+                // flamegraph tooling (one `path;to;frame count` per line)
+                std::fs::write(out, merged.folded())
+                    .map_err(io_error(format!("folded stacks '{out}'")))?;
+                println!("folded stacks written to {out}");
+            }
+            Ok(())
+        }
         _ => Err(LdmoError::usage(
-            "usage: ldmo trace summarize FILE.. | ldmo trace diff OLD NEW",
+            "usage: ldmo trace summarize FILE.. | ldmo trace diff OLD NEW | ldmo trace flame FILE..",
         )),
     }
 }

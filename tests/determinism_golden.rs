@@ -181,6 +181,37 @@ fn golden_holds_on_every_backend_at_1_and_4_threads() {
 }
 
 #[test]
+fn golden_holds_with_live_ops_enabled() {
+    // the live-ops layer is an observer, not a participant: with the
+    // flight recorder active and the sampling profiler interrupting every
+    // worker's span-stack mirror, the pinned Table-I numbers must hold
+    // bit for bit at 1 and 4 threads
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ldmo::obs::enable();
+    assert!(ldmo::obs::flight::active(), "enable() arms the flight ring");
+    let sampler = ldmo::obs::profiler::start(211.0);
+    assert!(sampler.is_some(), "sampler starts when none is running");
+    let (_, layout) = cells::all_cells().into_iter().next().expect("cells");
+    let assignment = suald_decompose(&layout);
+    let cfg = IltConfig::default();
+    let (a, b) = serial_vs_threaded(|| optimize(&layout, &assignment, &cfg));
+    for (threads, out) in [(1, &a), (4, &b)] {
+        assert_eq!(
+            format!("{:.3e}", out.l2),
+            "8.970e2",
+            "golden broke with live-ops at {threads} threads: {:.10e}",
+            out.l2
+        );
+        assert_eq!(out.epe.violations(), 0, "{threads} threads");
+    }
+    assert_eq!(a.l2.to_bits(), b.l2.to_bits());
+    assert_eq!(a.masks, b.masks);
+    drop(sampler);
+    // the ring saw the runs: convergence rows and span closes landed
+    assert!(ldmo::obs::flight::recorded() > 0, "flight ring recorded");
+}
+
+#[test]
 fn flow_ranking_is_backend_invariant() {
     // the batched ranking path (chunked kernel-major evaluation) must
     // select the same decomposition as the per-candidate path, at any
