@@ -284,13 +284,46 @@ fn resolve_out_path(target: &Path, name: &str) -> PathBuf {
     }
 }
 
+/// Walks up from the current directory to the nearest ancestor whose
+/// `Cargo.toml` declares a `[workspace]` section.
+///
+/// Cargo runs bench/test executables with the *package* directory as CWD,
+/// so a relative `--json-out bench_out/` passed to a crate's bench would
+/// otherwise land in `crates/<pkg>/bench_out/` instead of the repo-level
+/// `bench_out/` that the perf gate and committed baselines use.
+pub fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if std::fs::read_to_string(dir.join("Cargo.toml")).is_ok_and(|t| t.contains("[workspace]"))
+        {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Anchors a relative output path at [`workspace_root`]; absolute paths
+/// (and relative ones outside any workspace) pass through untouched.
+fn resolve_against_workspace(target: PathBuf) -> PathBuf {
+    if target.is_absolute() {
+        return target;
+    }
+    match workspace_root() {
+        Some(root) => root.join(target),
+        None => target,
+    }
+}
+
 /// Scans `std::env::args` for `--json-out PATH` (the shared CLI convention
-/// of the bench bins and criterion benches).
+/// of the bench bins and criterion benches). Relative paths resolve against
+/// the workspace root, not the executable's CWD.
 pub fn json_out_arg() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     args.windows(2)
         .rfind(|pair| pair[0] == "--json-out")
-        .map(|pair| PathBuf::from(&pair[1]))
+        .map(|pair| resolve_against_workspace(PathBuf::from(&pair[1])))
 }
 
 /// Writes `report` when `--json-out` was passed, reporting the outcome on
@@ -326,6 +359,22 @@ mod tests {
     fn rejects_foreign_json() {
         assert!(BenchReport::from_json("{\"schema\":\"other\"}").is_err());
         assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn relative_json_out_anchors_at_the_workspace_root() {
+        // cargo runs this test with crates/bench as CWD; the walk-up must
+        // land on the repo root, one level above the package dir
+        let root = workspace_root().expect("tests run inside the workspace");
+        let cwd = std::env::current_dir().expect("cwd");
+        assert_ne!(root, cwd, "package dir must not masquerade as the root");
+        assert!(cwd.starts_with(&root));
+        assert_eq!(
+            resolve_against_workspace(PathBuf::from("bench_out/")),
+            root.join("bench_out/")
+        );
+        let absolute = cwd.join("explicit.json");
+        assert_eq!(resolve_against_workspace(absolute.clone()), absolute);
     }
 
     #[test]

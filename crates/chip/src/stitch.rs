@@ -1,0 +1,160 @@
+//! Deterministic halo stitching: per-tile masks → one chip mask.
+
+use crate::tiles::TileGrid;
+use ldmo_geom::Grid;
+
+/// Stitches per-tile double-patterning masks into chip-scale masks.
+///
+/// `tile_masks[i]` is tile `i`'s mask pair at the litho raster scale of
+/// its (origin-translated) window, or `None` for a tile that held no
+/// patterns (its owned region stays zero). Each tile writes only the
+/// pixels of its own core — the ownership rule of DESIGN.md §15 — so the
+/// written regions are disjoint and the result is independent of write
+/// order, thread count, and tile completion order. Tiles are visited in
+/// index order regardless, keeping the loop itself deterministic.
+///
+/// Pixel mapping matches [`ldmo_layout::Layout::grid_shape`] /
+/// rasterization: `px(v) = round((v − origin) / nm_per_px)`, applied with
+/// the window origin on the source side and the chip origin on the
+/// destination side. Core and window edges are snapped to pixel-quantum
+/// multiples by the runner, so both sides round to ranges of equal length.
+///
+/// # Panics
+///
+/// Panics if `tile_masks.len() != grid.len()` or a provided mask does not
+/// cover its tile's core region.
+pub fn stitch_masks(
+    grid: &TileGrid,
+    nm_per_px: f64,
+    tile_masks: &[Option<[Grid; 2]>],
+) -> [Grid; 2] {
+    assert_eq!(
+        tile_masks.len(),
+        grid.len(),
+        "one mask slot per tile required"
+    );
+    let chip = grid.chip();
+    let px = |v: i32, origin: i32| -> usize {
+        ((f64::from(v - origin) / nm_per_px).round().max(0.0)) as usize
+    };
+    let w = px(chip.x1, chip.x0).max(1);
+    let h = px(chip.y1, chip.y0).max(1);
+    let mut out = [Grid::zeros(w, h), Grid::zeros(w, h)];
+    for (index, masks) in tile_masks.iter().enumerate() {
+        let Some(masks) = masks else { continue };
+        let tile = grid.tile(index);
+        let (sx0, sx1) = (
+            px(tile.core.x0, tile.window.x0),
+            px(tile.core.x1, tile.window.x0),
+        );
+        let (sy0, sy1) = (
+            px(tile.core.y0, tile.window.y0),
+            px(tile.core.y1, tile.window.y0),
+        );
+        let (dx0, dx1) = (px(tile.core.x0, chip.x0), px(tile.core.x1, chip.x0));
+        let (dy0, dy1) = (px(tile.core.y0, chip.y0), px(tile.core.y1, chip.y0));
+        assert_eq!(sx1 - sx0, dx1 - dx0, "tile {index}: column count mismatch");
+        assert_eq!(sy1 - sy0, dy1 - dy0, "tile {index}: row count mismatch");
+        for (mask, chip_mask) in masks.iter().zip(out.iter_mut()) {
+            let (mw, mh) = mask.shape();
+            assert!(
+                sx1 <= mw && sy1 <= mh,
+                "tile {index}: mask {mw}x{mh} does not cover its core"
+            );
+            let src = mask.as_slice();
+            let dst = chip_mask.as_mut_slice();
+            for (sy, dy) in (sy0..sy1).zip(dy0..dy1) {
+                let src_row = &src[sy * mw + sx0..sy * mw + sx1];
+                dst[dy * w + dx0..dy * w + dx1].copy_from_slice(src_row);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiles::TileGrid;
+    use ldmo_geom::Rect;
+
+    /// A synthetic mask pair for a tile: mask 0 filled with the tile's
+    /// index + 1, mask 1 with its negative, sized for the tile window at
+    /// `nm_per_px`.
+    fn synthetic(grid: &TileGrid, index: usize, nm_per_px: f64) -> [Grid; 2] {
+        let t = grid.tile(index);
+        let w = (f64::from(t.window.width()) / nm_per_px).round() as usize;
+        let h = (f64::from(t.window.height()) / nm_per_px).round() as usize;
+        let v = (index + 1) as f32;
+        [Grid::filled(w, h, v), Grid::filled(w, h, -v)]
+    }
+
+    #[test]
+    fn every_chip_pixel_written_by_its_owner() {
+        // 2x2 grid with partial edge tiles and a halo: after stitching
+        // synthetic per-tile constants, every chip pixel carries exactly
+        // its owning tile's value — each pixel written exactly once.
+        let nm_per_px = 2.0;
+        let grid = TileGrid::new(Rect::new(0, 0, 600, 500), 448, 90);
+        let masks: Vec<_> = (0..grid.len())
+            .map(|i| Some(synthetic(&grid, i, nm_per_px)))
+            .collect();
+        let out = stitch_masks(&grid, nm_per_px, &masks);
+        assert_eq!(out[0].shape(), (300, 250));
+        for y in 0..250 {
+            for x in 0..300 {
+                // pixel center in nm
+                let (xn, yn) = ((x as f64 * 2.0) as i32, (y as f64 * 2.0) as i32);
+                let owner = grid.owner_of(xn, yn);
+                assert_eq!(
+                    out[0].get(x, y),
+                    (owner + 1) as f32,
+                    "pixel ({x},{y}) not written by its owner {owner}"
+                );
+                assert_eq!(out[1].get(x, y), -((owner + 1) as f32));
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_n_grid_stitches_every_stripe() {
+        let nm_per_px = 2.0;
+        let grid = TileGrid::new(Rect::new(0, 0, 448, 1344), 448, 90);
+        assert_eq!((grid.cols(), grid.rows()), (1, 3));
+        let masks: Vec<_> = (0..grid.len())
+            .map(|i| Some(synthetic(&grid, i, nm_per_px)))
+            .collect();
+        let out = stitch_masks(&grid, nm_per_px, &masks);
+        for y in 0..672 {
+            let owner = grid.owner_of(0, (y * 2) as i32);
+            assert_eq!(out[0].get(100, y), (owner + 1) as f32, "row {y}");
+        }
+    }
+
+    #[test]
+    fn empty_tiles_leave_their_region_zero() {
+        let nm_per_px = 2.0;
+        let grid = TileGrid::new(Rect::new(0, 0, 896, 448), 448, 90);
+        let masks = vec![Some(synthetic(&grid, 0, nm_per_px)), None];
+        let out = stitch_masks(&grid, nm_per_px, &masks);
+        assert_eq!(out[0].get(10, 10), 1.0);
+        assert_eq!(out[0].get(300, 10), 0.0, "empty tile's region stays zero");
+    }
+
+    #[test]
+    fn single_tile_is_an_identity_copy() {
+        let nm_per_px = 2.0;
+        let grid = TileGrid::new(Rect::new(0, 0, 448, 448), 448, 270);
+        let m = synthetic(&grid, 0, nm_per_px);
+        let out = stitch_masks(&grid, nm_per_px, &[Some(m.clone())]);
+        assert_eq!(out[0], m[0]);
+        assert_eq!(out[1], m[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one mask slot per tile")]
+    fn wrong_slot_count_panics() {
+        let grid = TileGrid::new(Rect::new(0, 0, 896, 448), 448, 90);
+        let _ = stitch_masks(&grid, 2.0, &[None]);
+    }
+}

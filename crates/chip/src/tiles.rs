@@ -1,0 +1,300 @@
+//! Tile geometry: the core/halo grid and the pixel-ownership rule.
+
+use ldmo_geom::Rect;
+use ldmo_litho::{KernelBank, LithoConfig};
+
+/// One tile of a [`TileGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Row-major tile index (`row * cols + col`).
+    pub index: usize,
+    /// The owned region (nm, chip coordinates). Cores partition the chip
+    /// window exactly: half-open rects, no gaps, no overlap.
+    pub core: Rect,
+    /// The optimization window: the core grown by the halo on every side,
+    /// clipped to the chip window. Patterns intersecting this window take
+    /// part in the tile's decomposition + ILT.
+    pub window: Rect,
+}
+
+/// An overlap-aware tiling of a chip window: `cols × rows` core rects of
+/// up to `tile_nm` per side (edge tiles may be smaller), each optimized
+/// over a window grown by `halo_nm`.
+///
+/// Ownership rule: a point belongs to the unique tile whose core contains
+/// it ([`TileGrid::owner_of`]). Because cores partition the chip window,
+/// the documented lowest-index tiebreak can never actually fire — it
+/// exists so the rule stays total if the partition invariant is ever
+/// relaxed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGrid {
+    chip: Rect,
+    tile_nm: i32,
+    halo_nm: i32,
+    cols: usize,
+    rows: usize,
+}
+
+impl TileGrid {
+    /// Builds the grid for `chip` with the given tile pitch and halo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_nm <= 0` or `halo_nm < 0`.
+    pub fn new(chip: Rect, tile_nm: i32, halo_nm: i32) -> Self {
+        assert!(tile_nm > 0, "tile size must be positive");
+        assert!(halo_nm >= 0, "halo cannot be negative");
+        let cols = div_ceil(chip.width(), tile_nm).max(1);
+        let rows = div_ceil(chip.height(), tile_nm).max(1);
+        TileGrid {
+            chip,
+            tile_nm,
+            halo_nm,
+            cols,
+            rows,
+        }
+    }
+
+    /// The chip window this grid tiles.
+    pub fn chip(&self) -> Rect {
+        self.chip
+    }
+
+    /// Tile pitch in nm (edge tiles may be narrower).
+    pub fn tile_nm(&self) -> i32 {
+        self.tile_nm
+    }
+
+    /// Halo width in nm.
+    pub fn halo_nm(&self) -> i32 {
+        self.halo_nm
+    }
+
+    /// Tile columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total tile count.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Whether the grid holds no tiles (never true: a non-empty chip
+    /// window always yields at least one tile).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tile at row-major `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn tile(&self, index: usize) -> Tile {
+        assert!(index < self.len(), "tile index out of range");
+        let col = (index % self.cols) as i32;
+        let row = (index / self.cols) as i32;
+        let x0 = self.chip.x0 + col * self.tile_nm;
+        let y0 = self.chip.y0 + row * self.tile_nm;
+        let core = Rect::new(
+            x0,
+            y0,
+            (x0 + self.tile_nm).min(self.chip.x1),
+            (y0 + self.tile_nm).min(self.chip.y1),
+        );
+        let window = core
+            .expanded(self.halo_nm)
+            .intersection(&self.chip)
+            .expect("core lies inside the chip window");
+        Tile {
+            index,
+            core,
+            window,
+        }
+    }
+
+    /// All tiles in row-major order.
+    pub fn tiles(&self) -> Vec<Tile> {
+        (0..self.len()).map(|i| self.tile(i)).collect()
+    }
+
+    /// The index of the tile owning point `(x, y)` (nm, chip
+    /// coordinates). Points outside the chip window are clamped to the
+    /// nearest tile, so the rule is total.
+    pub fn owner_of(&self, x: i32, y: i32) -> usize {
+        let clamp = |v: i32, pitch: i32, n: usize| -> usize {
+            if v < 0 {
+                0
+            } else {
+                ((v / pitch) as usize).min(n - 1)
+            }
+        };
+        let col = clamp(x - self.chip.x0, self.tile_nm, self.cols);
+        let row = clamp(y - self.chip.y0, self.tile_nm, self.rows);
+        row * self.cols + col
+    }
+}
+
+/// `ceil(a / b)` for positive `b`.
+fn div_ceil(a: i32, b: i32) -> usize {
+    ((a + b - 1) / b).max(0) as usize
+}
+
+/// Rounds `v` up to the next multiple of `quantum` (≥ 1 quantum).
+pub fn snap_up(v: i32, quantum: i32) -> i32 {
+    let q = quantum.max(1);
+    ((v.max(1) + q - 1) / q) * q
+}
+
+/// The halo width in nm for a kernel bank under `litho`: the optical
+/// interaction radius (the widest kernel's support radius in pixels,
+/// ~3σ of the widest Gaussian profile — [`KernelBank::interaction_radius`])
+/// converted to nm and snapped up to the pixel quantum, so tile-window
+/// origins stay aligned to the litho raster. Beyond this distance a mask
+/// feature contributes exactly zero field, which is what makes per-tile
+/// optimization physically equivalent to whole-chip optimization inside
+/// each tile's core.
+pub fn halo_nm(bank: &KernelBank, litho: &LithoConfig) -> i32 {
+    let radius_px = bank.interaction_radius() as f64;
+    let raw = (radius_px * litho.nm_per_px).ceil() as i32;
+    snap_up(raw, px_quantum(litho.nm_per_px))
+}
+
+/// The nm quantum that keeps nm → px rounding exact: `nm_per_px` itself
+/// when it is integral, else 1 (sub-nm scales reround per pixel).
+pub(crate) fn px_quantum(nm_per_px: f64) -> i32 {
+    if nm_per_px.fract() == 0.0 && nm_per_px >= 1.0 {
+        nm_per_px as i32
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_partition_the_chip_exactly() {
+        // every nm point owned exactly once, on a grid with partial edge
+        // tiles (1000 is not a multiple of 448)
+        let grid = TileGrid::new(Rect::new(0, 0, 1000, 900), 448, 270);
+        let tiles = grid.tiles();
+        assert_eq!(grid.cols(), 3);
+        assert_eq!(grid.rows(), 3);
+        let area: i64 = tiles.iter().map(|t| t.core.area()).sum();
+        assert_eq!(area, grid.chip().area());
+        for (i, a) in tiles.iter().enumerate() {
+            assert_eq!(a.index, i);
+            for b in tiles.iter().skip(i + 1) {
+                assert!(
+                    !a.core.intersects(&b.core),
+                    "cores {} and {} overlap",
+                    a.index,
+                    b.index
+                );
+            }
+        }
+        // spot-scan ownership against core containment
+        for y in (0..900).step_by(7) {
+            for x in (0..1000).step_by(7) {
+                let owner = grid.owner_of(x, y);
+                assert!(
+                    tiles[owner].core.contains(x, y),
+                    "({x},{y}) owned by tile {owner} whose core excludes it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_tiles_are_clipped_not_dropped() {
+        let grid = TileGrid::new(Rect::new(0, 0, 500, 448), 448, 100);
+        assert_eq!(grid.cols(), 2);
+        assert_eq!(grid.rows(), 1);
+        let t = grid.tile(1);
+        assert_eq!(t.core, Rect::new(448, 0, 500, 448));
+        // window clipped to the chip
+        assert_eq!(t.window, Rect::new(348, 0, 500, 448));
+    }
+
+    #[test]
+    fn degenerate_1xn_grid_owns_every_point() {
+        let grid = TileGrid::new(Rect::new(0, 0, 448, 2000), 448, 90);
+        assert_eq!((grid.cols(), grid.rows()), (1, 5));
+        let tiles = grid.tiles();
+        for y in (0..2000).step_by(13) {
+            let owner = grid.owner_of(13, y);
+            assert!(tiles[owner].core.contains(13, y));
+        }
+        // last tile is the short one: 2000 - 4*448 = 208
+        assert_eq!(tiles[4].core.height(), 208);
+    }
+
+    #[test]
+    fn single_tile_grid_covers_small_chips() {
+        let grid = TileGrid::new(Rect::new(0, 0, 300, 300), 448, 270);
+        assert_eq!(grid.len(), 1);
+        let t = grid.tile(0);
+        assert_eq!(t.core, grid.chip());
+        assert_eq!(t.window, grid.chip());
+        assert_eq!(grid.owner_of(299, 0), 0);
+    }
+
+    #[test]
+    fn owner_clamps_outside_points() {
+        let grid = TileGrid::new(Rect::new(0, 0, 896, 896), 448, 90);
+        assert_eq!(grid.owner_of(-5, -5), 0);
+        assert_eq!(grid.owner_of(10_000, 10_000), grid.len() - 1);
+    }
+
+    #[test]
+    fn window_respects_nonzero_chip_origin() {
+        let grid = TileGrid::new(Rect::new(100, 100, 996, 996), 448, 50);
+        let t = grid.tile(0);
+        assert_eq!(t.core, Rect::new(100, 100, 548, 548));
+        assert_eq!(t.window, Rect::new(100, 100, 598, 598));
+        assert_eq!(grid.owner_of(100, 100), 0);
+        assert_eq!(grid.owner_of(548, 100), 1);
+    }
+
+    #[test]
+    fn halo_follows_the_kernel_bank() {
+        let litho = LithoConfig::default();
+        let bank = KernelBank::paper_bank(&litho);
+        let halo = halo_nm(&bank, &litho);
+        // default optics: widest kernel σ = 45 px → radius 135 px at
+        // 2 nm/px = 270 nm, already a pixel multiple
+        assert_eq!(
+            halo,
+            (bank.interaction_radius() as f64 * litho.nm_per_px).ceil() as i32
+        );
+        assert_eq!(halo % 2, 0, "halo must be pixel-aligned");
+        // a narrower bank shrinks the halo — the rule is derived, not
+        // hardcoded
+        let narrow = LithoConfig {
+            sigma_primary: 16.0,
+            sigma_secondary: 24.0,
+            ring_sigma: 20.0,
+            ..litho
+        };
+        let narrow_bank = KernelBank::paper_bank(&narrow);
+        assert!(halo_nm(&narrow_bank, &narrow) < halo);
+    }
+
+    #[test]
+    fn snap_up_aligns_to_quantum() {
+        assert_eq!(snap_up(270, 2), 270);
+        assert_eq!(snap_up(271, 2), 272);
+        assert_eq!(snap_up(1, 2), 2);
+        assert_eq!(snap_up(448, 1), 448);
+        assert_eq!(px_quantum(2.0), 2);
+        assert_eq!(px_quantum(1.5), 1);
+    }
+}

@@ -29,6 +29,22 @@ impl Budget {
         max_wall: None,
     };
 
+    /// An iteration-only budget: at most `n` iterations, no wall deadline.
+    pub fn iterations(n: usize) -> Budget {
+        Budget {
+            max_iterations: Some(n),
+            max_wall: None,
+        }
+    }
+
+    /// A wall-clock-only budget of `ms` milliseconds, no iteration cap.
+    pub fn wall_ms(ms: u64) -> Budget {
+        Budget {
+            max_iterations: None,
+            max_wall: Some(Duration::from_millis(ms)),
+        }
+    }
+
     /// Whether this budget can never exhaust.
     pub fn is_unlimited(&self) -> bool {
         self.max_iterations.is_none() && self.max_wall.is_none()
@@ -94,6 +110,25 @@ mod tests {
         assert!(!clock.exhausted(2));
         assert!(clock.exhausted(3));
         assert!(clock.exhausted(4));
+    }
+
+    #[test]
+    fn convenience_constructors_match_literals() {
+        assert_eq!(
+            Budget::iterations(5),
+            Budget {
+                max_iterations: Some(5),
+                max_wall: None,
+            }
+        );
+        assert_eq!(
+            Budget::wall_ms(250),
+            Budget {
+                max_iterations: None,
+                max_wall: Some(Duration::from_millis(250)),
+            }
+        );
+        assert!(!Budget::iterations(0).is_unlimited());
     }
 
     #[test]

@@ -177,6 +177,32 @@ impl LayoutGenerator {
         Ok(Layout::new(w, patterns))
     }
 
+    /// Generates a chip-scale layout: a `cols` × `rows` grid of independent
+    /// window-sized blocks, each populated by [`LayoutGenerator::generate`]
+    /// and translated into place. The chip window spans
+    /// `cols × window_width` by `rows × window_height` nm starting at the
+    /// origin. Blocks inherit the window margin from the DRC rules, so
+    /// block-to-block spacing stays DRC-clean by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::PlacementFailed`] if any block fails to place.
+    pub fn generate_chip(&mut self, cols: usize, rows: usize) -> Result<Layout, LayoutError> {
+        let w = self.cfg.window;
+        let (bw, bh) = (w.width(), w.height());
+        let mut patterns = Vec::new();
+        for row in 0..rows {
+            for col in 0..cols {
+                let block = self.generate()?;
+                let dx = col as i32 * bw - w.x0;
+                let dy = row as i32 * bh - w.y0;
+                patterns.extend(block.patterns().iter().map(|r| r.translated(dx, dy)));
+            }
+        }
+        let chip = Rect::new(0, 0, cols as i32 * bw, rows as i32 * bh);
+        Ok(Layout::new(chip, patterns))
+    }
+
     /// Generates a dataset of `count` layouts, skipping (rare) placement
     /// failures so the result always has exactly `count` entries.
     pub fn generate_dataset(&mut self, count: usize) -> Vec<Layout> {
@@ -261,6 +287,38 @@ mod tests {
             seen_sp && seen_vp && seen_np,
             "sp={seen_sp} vp={seen_vp} np={seen_np}"
         );
+    }
+
+    #[test]
+    fn chip_layout_spans_grid_of_blocks() {
+        let mut gen = LayoutGenerator::new(GeneratorConfig::default(), 21);
+        let chip = gen.generate_chip(3, 2).expect("chip generates");
+        assert_eq!(chip.window(), Rect::new(0, 0, 3 * 448, 2 * 448));
+        // at least min_patterns per block
+        assert!(chip.len() >= 6 * gen.config().min_patterns);
+        // every block contributes: each 448-wide column stripe holds patterns
+        for col in 0..3 {
+            let stripe = Rect::new(col * 448, 0, (col + 1) * 448, 2 * 448);
+            assert!(
+                chip.patterns().iter().any(|r| stripe.intersects(r)),
+                "column {col} empty"
+            );
+        }
+        // all patterns inside the chip window
+        assert!(chip.patterns().iter().all(|r| {
+            r.x0 >= 0 && r.y0 >= 0 && r.x1 <= chip.window().x1 && r.y1 <= chip.window().y1
+        }));
+    }
+
+    #[test]
+    fn chip_generation_is_seed_deterministic() {
+        let a = LayoutGenerator::new(GeneratorConfig::default(), 77)
+            .generate_chip(2, 2)
+            .expect("chip");
+        let b = LayoutGenerator::new(GeneratorConfig::default(), 77)
+            .generate_chip(2, 2)
+            .expect("chip");
+        assert_eq!(a, b);
     }
 
     #[test]

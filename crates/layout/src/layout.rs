@@ -185,6 +185,24 @@ impl Layout {
         m
     }
 
+    /// Extracts the sub-layout covered by `window` (nm, chip coordinates),
+    /// translated so the returned layout's window starts at the origin.
+    ///
+    /// Patterns intersecting `window` are kept whole (they may overhang the
+    /// window edge); everything else is dropped. The translation matters:
+    /// downstream consumers — rasterization via [`Layout::to_px`] is
+    /// origin-relative, but EPE measurement samples at absolute pattern
+    /// coordinates — agree only when the window origin is `(0, 0)`.
+    pub fn extract_window(&self, window: Rect) -> Layout {
+        let patterns = self
+            .patterns
+            .iter()
+            .filter(|r| r.intersects(&window))
+            .map(|r| r.translated(-window.x0, -window.y0))
+            .collect();
+        Layout::new(window.translated(-window.x0, -window.y0), patterns)
+    }
+
     fn check_assignment(&self, assignment: &[u8]) -> Result<(), LayoutError> {
         if assignment.len() != self.patterns.len() {
             return Err(LayoutError::AssignmentLength {
@@ -281,6 +299,32 @@ mod tests {
         assert_eq!(g.shape(), (128, 128));
         assert_eq!(g.get(0, 0), 1.0); // pattern at window origin
         assert_eq!(g.get(70, 70), 0.0);
+    }
+
+    #[test]
+    fn extract_window_translates_to_origin() {
+        let l = sample();
+        let sub = l.extract_window(Rect::new(150, 0, 448, 200));
+        // only pattern 1 (at 200,40) intersects; translated by (-150, 0)
+        assert_eq!(sub.window(), Rect::new(0, 0, 298, 200));
+        assert_eq!(sub.patterns(), &[Rect::square(50, 40, 64)]);
+    }
+
+    #[test]
+    fn extract_window_keeps_overhanging_patterns_whole() {
+        let l = sample();
+        // window edge cuts through pattern 1 (x ∈ [200, 264))
+        let sub = l.extract_window(Rect::new(0, 0, 230, 448));
+        assert_eq!(sub.len(), 3);
+        // pattern 1 kept whole, overhanging the window
+        assert!(sub.patterns().contains(&Rect::square(200, 40, 64)));
+    }
+
+    #[test]
+    fn extract_full_window_is_identity_for_origin_layouts() {
+        let l = sample();
+        let sub = l.extract_window(l.window());
+        assert_eq!(sub, l);
     }
 
     #[test]

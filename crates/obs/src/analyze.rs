@@ -407,34 +407,56 @@ impl Trace {
             .collect()
     }
 
-    /// Cross-checks every `flow.run` span against the `FlowTiming` buckets
-    /// it carries as metadata (`sel_us` + `opt_us` must reconcile with the
-    /// span's own duration within `tolerance`, a fraction — CI uses 0.01).
-    /// Returns the number of spans checked; it is an error if no `flow.run`
-    /// span carries the timing metadata, so the check cannot silently pass
-    /// on an instrumentation regression.
+    /// Cross-checks timing-bucket metadata against span durations: every
+    /// `flow.run` span's `FlowTiming` buckets (`sel_us` + `opt_us`) and
+    /// every `chip.run` span's `ChipTiming` buckets (`setup_us` +
+    /// `tiles_us` + `stitch_us`) must reconcile with the span's own
+    /// duration within `tolerance`, a fraction — CI uses 0.01. Returns the
+    /// number of spans checked; it is an error if no span of either kind
+    /// carries the timing metadata, so the check cannot silently pass on
+    /// an instrumentation regression.
     pub fn reconcile_flow_timing(&self, tolerance: f64) -> Result<usize, String> {
         let mut checked = 0usize;
-        for span in self.spans.iter().filter(|s| s.name == "flow.run") {
-            let (Some(sel), Some(opt)) = (span.meta_get("sel_us"), span.meta_get("opt_us")) else {
-                continue;
+        for span in &self.spans {
+            let bucketed = match span.name.as_str() {
+                "flow.run" => {
+                    let (Some(sel), Some(opt)) = (span.meta_get("sel_us"), span.meta_get("opt_us"))
+                    else {
+                        continue;
+                    };
+                    sel + opt
+                }
+                "chip.run" => {
+                    let (Some(setup), Some(tiles), Some(stitch)) = (
+                        span.meta_get("setup_us"),
+                        span.meta_get("tiles_us"),
+                        span.meta_get("stitch_us"),
+                    ) else {
+                        continue;
+                    };
+                    setup + tiles + stitch
+                }
+                _ => continue,
             };
             checked += 1;
-            let bucketed = sel + opt;
             let dur = span.dur_us as f64;
             // floor the slack at 1 ms so microsecond-scale smoke runs don't
             // fail on scheduler jitter
             let slack = (dur * tolerance).max(1_000.0);
             if (bucketed - dur).abs() > slack {
                 return Err(format!(
-                    "flow.run span {}: FlowTiming buckets {bucketed:.0}µs vs span {dur:.0}µs \
+                    "{} span {}: timing buckets {bucketed:.0}µs vs span {dur:.0}µs \
                      (allowed slack {slack:.0}µs)",
-                    span.id
+                    span.name, span.id
                 ));
             }
         }
         if checked == 0 {
-            return Err("no flow.run span carries sel_us/opt_us timing metadata".into());
+            return Err(
+                "no flow.run span carries sel_us/opt_us and no chip.run span carries \
+                 setup_us/tiles_us/stitch_us timing metadata"
+                    .into(),
+            );
         }
         Ok(checked)
     }

@@ -344,6 +344,32 @@ fn reconcile_checks_flow_timing_meta() {
 }
 
 #[test]
+fn reconcile_checks_chip_timing_meta() {
+    // chip.run spans reconcile setup+tiles+stitch against the duration
+    let good = "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"chip.run\",\"start_us\":0,\"dur_us\":1000000,\"setup_us\":100000,\"tiles_us\":800000,\"stitch_us\":99500}\n";
+    let trace = Trace::parse(good).expect("parses");
+    assert_eq!(trace.reconcile_flow_timing(0.01), Ok(1));
+
+    let bad = "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"chip.run\",\"start_us\":0,\"dur_us\":1000000,\"setup_us\":100000,\"tiles_us\":100000,\"stitch_us\":100000}\n";
+    let trace = Trace::parse(bad).expect("parses");
+    assert!(trace.reconcile_flow_timing(0.01).is_err());
+
+    // a chip trace with bucket-less chip.run spans must fail loudly
+    let missing = span_line(1, 0, "chip.run", 0, 1_000_000);
+    let trace = Trace::parse(&missing).expect("parses");
+    assert!(trace.reconcile_flow_timing(0.01).is_err());
+
+    // mixed traces: both kinds are counted
+    let mixed = format!(
+        "{}{}",
+        "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"flow.run\",\"start_us\":0,\"dur_us\":1000000,\"sel_us\":400000,\"opt_us\":599000}\n",
+        "{\"type\":\"span\",\"id\":2,\"parent\":0,\"name\":\"chip.run\",\"start_us\":0,\"dur_us\":500000,\"setup_us\":50000,\"tiles_us\":400000,\"stitch_us\":49800}\n"
+    );
+    let trace = Trace::parse(&mixed).expect("parses");
+    assert_eq!(trace.reconcile_flow_timing(0.01), Ok(2));
+}
+
+#[test]
 fn hist_lines_round_trip_into_percentile_capable_snapshots() {
     ldmo_obs::reset();
     ldmo_obs::enable();

@@ -6,6 +6,7 @@
 //! ldmo decompose layout.lay                           list decomposition candidates
 //! ldmo optimize layout.lay --assignment 0,1,0         run ILT on one decomposition
 //! ldmo flow layout.lay [--predictor w.bin]            run the full Fig. 2 flow
+//! ldmo chip [chip.lay] [--tiles 4x4 --seed 7]         tiled full-chip pipeline
 //! ldmo train --pool 24 --out w.bin                    train the CNN predictor
 //! ldmo trace summarize trace.jsonl                    span rollups + percentiles
 //! ldmo trace diff old.jsonl new.jsonl                 flag span-time regressions
@@ -17,6 +18,7 @@
 //! 2 usage, 3 parse, 4 model, 5 I/O, 6 trace, 7 bad `LDMO_FAULTS` spec,
 //! 8 degraded result.
 
+use ldmo::chip::{run_chip, ChipConfig};
 use ldmo::core::dataset::{build_dataset, DatasetConfig, SamplerKind};
 use ldmo::core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
 use ldmo::core::predictor::PrintabilityPredictor;
@@ -24,7 +26,7 @@ use ldmo::core::sampling::SamplingConfig;
 use ldmo::core::trainer::{train, TrainConfig};
 use ldmo::decomp::{generate_candidates, is_dpl_compatible, DecompConfig};
 use ldmo::guard::LdmoError;
-use ldmo::ilt::{optimize, optimize_multi, IltConfig};
+use ldmo::ilt::{optimize, optimize_multi, Budget, IltConfig};
 use ldmo::layout::classify::{classify_patterns, ClassifyConfig};
 use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
 use ldmo::layout::{io as layout_io, Layout};
@@ -72,6 +74,7 @@ fn run(args: &[String]) -> Result<(), LdmoError> {
         Some("decompose") => cmd_decompose(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("flow") => cmd_flow(&args[1..]),
+        Some("chip") => cmd_chip(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench-report") => cmd_bench_report(&args[1..]),
@@ -108,6 +111,14 @@ fn print_usage() {
          \x20 optimize  FILE --assignment 0,1,..       run ILT on one decomposition\n\
          \x20           [--masks K] [--out PREFIX]\n\
          \x20 flow      FILE [--predictor W.bin]       run the full LDMO flow\n\
+         \x20 chip      [FILE]                         tiled full-chip pipeline\n\
+         \x20           [--tiles CxR] [--seed S]       (no FILE: generate a CxR demo\n\
+         \x20           [--tile-size NM]               chip; halo derives from the\n\
+         \x20           [--tile-iters N]               kernel bank, DESIGN.md 15)\n\
+         \x20           [--tile-candidates N]\n\
+         \x20           [--tile-budget-iters N]\n\
+         \x20           [--tile-budget-ms MS]\n\
+         \x20           [--out PREFIX]\n\
          \x20 train     --pool N --out W.bin           train the CNN predictor\n\
          \x20 trace     summarize FILE..               span rollups, histogram\n\
          \x20           [--reconcile]                  percentiles, convergence digest\n\
@@ -325,6 +336,118 @@ fn cmd_flow(args: &[String]) -> Result<(), LdmoError> {
     Ok(())
 }
 
+/// Parses one numeric `--flag` value, reporting the flag name on failure.
+fn parse_flag<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, LdmoError> {
+    value
+        .parse()
+        .map_err(|_| LdmoError::usage(format!("--{flag} '{value}' is not a valid number")))
+}
+
+/// Parses a `COLSxROWS` grid spec such as `4x2`.
+fn parse_grid(spec: &str) -> Result<(usize, usize), LdmoError> {
+    let bad = || LdmoError::usage(format!("--tiles '{spec}' is not COLSxROWS (e.g. 4x2)"));
+    let (cols, rows) = spec.split_once('x').ok_or_else(bad)?;
+    let cols: usize = cols.trim().parse().map_err(|_| bad())?;
+    let rows: usize = rows.trim().parse().map_err(|_| bad())?;
+    if cols == 0 || rows == 0 {
+        return Err(bad());
+    }
+    Ok((cols, rows))
+}
+
+fn cmd_chip(args: &[String]) -> Result<(), LdmoError> {
+    let (pos, opts) = split_options(args);
+    let layout = match pos.first() {
+        Some(path) => load_layout(path)?,
+        None => {
+            // no file: synthesize a demo chip as a COLSxROWS grid of
+            // independently generated DRC-clean blocks
+            let (cols, rows) = parse_grid(opts.get("tiles").copied().unwrap_or("2x2"))?;
+            let seed: u64 = match opts.get("seed") {
+                Some(s) => parse_flag(s, "seed")?,
+                None => 7,
+            };
+            let mut generator = LayoutGenerator::new(GeneratorConfig::default(), seed);
+            let chip = generator
+                .generate_chip(cols, rows)
+                .map_err(|e| LdmoError::Parse {
+                    context: format!("demo chip ({cols}x{rows} blocks, seed {seed})"),
+                    detail: e.to_string(),
+                })?;
+            println!(
+                "demo chip: {cols}x{rows} blocks, seed {seed}, {} patterns, window {}",
+                chip.len(),
+                chip.window()
+            );
+            chip
+        }
+    };
+    let mut cfg = ChipConfig::default();
+    if let Some(v) = opts.get("tile-size") {
+        cfg.tile_nm = parse_flag(v, "tile-size")?;
+        if cfg.tile_nm <= 0 {
+            return Err(LdmoError::usage("--tile-size must be positive (nm)"));
+        }
+    }
+    if let Some(v) = opts.get("tile-iters") {
+        cfg.ilt.max_iterations = parse_flag(v, "tile-iters")?;
+    }
+    if let Some(v) = opts.get("tile-candidates") {
+        cfg.decomp.max_candidates = parse_flag(v, "tile-candidates")?;
+    }
+    if let Some(v) = opts.get("tile-budget-iters") {
+        cfg.ilt.budget = Budget::iterations(parse_flag(v, "tile-budget-iters")?);
+    }
+    if let Some(v) = opts.get("tile-budget-ms") {
+        // composes with --tile-budget-iters: both bounds apply
+        cfg.ilt.budget.max_wall = Some(std::time::Duration::from_millis(parse_flag(
+            v,
+            "tile-budget-ms",
+        )?));
+    }
+    let out = run_chip(&layout, &cfg);
+    let empty = out.tiles.iter().filter(|t| t.patterns == 0).count();
+    let (w, h) = out.masks[0].shape();
+    println!(
+        "tile grid:        {}x{} ({} tiles, {} nm cores + {} nm halo)",
+        out.grid.cols(),
+        out.grid.rows(),
+        out.grid.len(),
+        out.grid.tile_nm(),
+        out.grid.halo_nm()
+    );
+    println!(
+        "tiles:            {} optimized, {} empty, {} degraded",
+        out.grid.len() - empty - out.degraded_tiles,
+        empty,
+        out.degraded_tiles
+    );
+    println!("chip mask:        {w}x{h} px per layer");
+    println!("EPE violations:   {}", out.epe_violations);
+    let secs = out.timing.total().as_secs_f64();
+    if secs > 0.0 {
+        println!(
+            "throughput:       {:.2} tiles/s",
+            out.grid.len() as f64 / secs
+        );
+    }
+    println!(
+        "time: {:.2}s setup + {:.2}s tiles + {:.2}s stitch",
+        out.timing.setup.as_secs_f64(),
+        out.timing.tiles.as_secs_f64(),
+        out.timing.stitch.as_secs_f64()
+    );
+    if let Some(prefix) = opts.get("out") {
+        for (i, m) in out.masks.iter().enumerate() {
+            let mask_path = format!("{prefix}_mask{i}.pgm");
+            std::fs::write(&mask_path, m.to_pgm())
+                .map_err(io_error(format!("mask image '{mask_path}'")))?;
+        }
+        println!("chip masks written with prefix {prefix}_");
+    }
+    Ok(())
+}
+
 fn trace_error(context: impl Into<String>) -> impl FnOnce(String) -> LdmoError {
     let context = context.into();
     move |detail| LdmoError::Trace { context, detail }
@@ -380,7 +503,7 @@ fn cmd_trace(args: &[String]) -> Result<(), LdmoError> {
                     .reconcile_flow_timing(0.01)
                     .map_err(trace_error("flow-timing reconciliation"))?;
                 println!(
-                    "reconcile: {checked} flow.run span(s) match their FlowTiming buckets within 1%"
+                    "reconcile: {checked} flow.run/chip.run span(s) match their timing buckets within 1%"
                 );
             }
             Ok(())

@@ -11,6 +11,7 @@
 //! - `sampling_demo.rs` — SIFT / k-medoids / n-wise sampling machinery
 
 pub use ldmo_bench as bench;
+pub use ldmo_chip as chip;
 pub use ldmo_core as core;
 pub use ldmo_decomp as decomp;
 pub use ldmo_geom as geom;

@@ -1,0 +1,100 @@
+//! Integration tests of the tiled full-chip pipeline (DESIGN.md §15).
+//!
+//! The pivotal guarantee: tiling is an implementation detail, not a
+//! semantic one. A chip that fits in one tile must report exactly the
+//! whole-grid flow's outcome, a multi-tile run must account every EPE
+//! violation to exactly one owning tile, and per-tile budgets degrade a
+//! tile instead of aborting the chip.
+
+use ldmo::chip::{run_chip, ChipConfig};
+use ldmo::core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
+use ldmo::ilt::Budget;
+use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
+use ldmo::layout::Layout;
+
+fn demo_chip(cols: usize, rows: usize, seed: u64) -> Layout {
+    LayoutGenerator::new(GeneratorConfig::default(), seed)
+        .generate_chip(cols, rows)
+        .expect("demo chip generates")
+}
+
+/// A chip config small enough for test budgets; `max_candidates` is
+/// shared with the flow comparator in the parity test below.
+fn fast_cfg() -> ChipConfig {
+    let mut cfg = ChipConfig {
+        tile_nm: 448,
+        ..ChipConfig::default()
+    };
+    cfg.ilt.max_iterations = 6;
+    cfg.decomp.max_candidates = 8;
+    cfg
+}
+
+#[test]
+fn one_tile_chip_matches_the_whole_grid_flow() {
+    // a single-block chip fits in one 448 nm tile, so the tiled path and
+    // the whole-grid LithoProxy flow run the same ranking, the same
+    // abort-attempt loop and the same final ILT — EPE count, attempt
+    // count and the masks themselves must agree bit for bit
+    let layout = demo_chip(1, 1, 7);
+    let cfg = fast_cfg();
+    let out = run_chip(&layout, &cfg);
+    assert_eq!((out.grid.cols(), out.grid.rows()), (1, 1), "one tile");
+
+    let flow_cfg = FlowConfig {
+        decomp: cfg.decomp.clone(),
+        ilt: cfg.ilt.clone(),
+        weights: cfg.weights,
+        max_attempts: cfg.max_attempts,
+        candidate_deadline: None,
+    };
+    let flow = LdmoFlow::new(flow_cfg, SelectionStrategy::LithoProxy).run(&layout);
+
+    assert_eq!(out.epe_violations, flow.outcome.epe_violations());
+    assert_eq!(out.tiles[0].attempts, flow.attempts);
+    assert_eq!(out.tiles[0].candidates, flow.candidates);
+    assert_eq!(out.masks[0], flow.outcome.masks[0]);
+    assert_eq!(out.masks[1], flow.outcome.masks[1]);
+}
+
+#[test]
+fn multi_tile_chip_accounts_every_violation_once() {
+    let layout = demo_chip(2, 2, 3);
+    let mut cfg = fast_cfg();
+    cfg.ilt.max_iterations = 2;
+    cfg.decomp.max_candidates = 4;
+    let out = run_chip(&layout, &cfg);
+    assert_eq!((out.grid.cols(), out.grid.rows()), (2, 2));
+    // chip masks raster the whole 896x896 nm window at 2 nm/px
+    assert_eq!(out.masks[0].shape(), (448, 448));
+    // the chip EPE count is exactly the sum of per-tile owned counts —
+    // ownership partitions the chip, so nothing is dropped or doubled
+    let owned_sum: usize = out.tiles.iter().map(|t| t.epe_owned).sum();
+    assert_eq!(out.epe_violations, owned_sum);
+    assert_eq!(out.tiles.len(), 4);
+    assert_eq!(out.degraded_tiles, 0);
+}
+
+#[test]
+fn per_tile_budget_degrades_tiles_never_the_chip() {
+    let layout = demo_chip(2, 1, 5);
+    let mut cfg = fast_cfg();
+    cfg.decomp.max_candidates = 4;
+    cfg.ilt.budget = Budget::iterations(0);
+    let out = run_chip(&layout, &cfg);
+    // every non-empty tile exhausts its budget immediately, falls back to
+    // the unoptimized drawn masks, and the chip still completes
+    let populated = out.tiles.iter().filter(|t| t.patterns > 0).count();
+    assert!(populated > 0, "demo chip has populated tiles");
+    assert_eq!(out.degraded_tiles, populated);
+    for t in &out.tiles {
+        assert_eq!(t.health.is_degraded(), t.patterns > 0, "tile {}", t.index);
+    }
+    let drawn_energy: f32 = out.masks[0].as_slice().iter().sum();
+    assert!(drawn_energy > 0.0, "degraded tiles still contribute masks");
+
+    // degradation is as deterministic as the healthy path
+    let again = run_chip(&layout, &cfg);
+    assert_eq!(out.masks, again.masks);
+    assert_eq!(out.epe_violations, again.epe_violations);
+}

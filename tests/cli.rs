@@ -18,9 +18,54 @@ fn help_lists_subcommands() {
     let out = ldmo().arg("help").output().expect("runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for sub in ["generate", "info", "decompose", "optimize", "flow", "train"] {
+    for sub in ["generate", "info", "decompose", "optimize", "flow", "chip", "train"] {
         assert!(text.contains(sub), "help missing '{sub}'");
     }
+}
+
+#[test]
+fn chip_demo_runs_and_writes_masks() {
+    let dir = temp_dir("chip_demo");
+    let prefix = dir.join("chip");
+    let out = ldmo()
+        .args([
+            "chip",
+            "--tiles",
+            "2x1",
+            "--seed",
+            "11",
+            "--tile-iters",
+            "2",
+            "--tile-candidates",
+            "4",
+            "--out",
+            prefix.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tile grid:        2x1"), "stdout: {text}");
+    assert!(text.contains("EPE violations:"), "stdout: {text}");
+    for layer in 0..2 {
+        let mask = dir.join(format!("chip_mask{layer}.pgm"));
+        assert!(mask.exists(), "missing {}", mask.display());
+    }
+}
+
+#[test]
+fn chip_rejects_malformed_tile_grid() {
+    let out = ldmo()
+        .args(["chip", "--tiles", "0x3"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("COLSxROWS"), "stderr: {err}");
 }
 
 #[test]

@@ -246,6 +246,47 @@ fn flow_ranking_is_backend_invariant() {
 }
 
 #[test]
+fn tiled_chip_is_thread_and_backend_invariant() {
+    // the tiled full-chip pipeline (DESIGN.md §15) extends the contract:
+    // per-tile optimization fans out across the pool, yet the stitched
+    // chip masks are bit-identical for any thread count and any litho
+    // backend — ownership stitching leaves no seam for scheduling noise
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    use ldmo::litho::backend::{self, BackendKind};
+    use ldmo_chip::{run_chip, ChipConfig};
+    use ldmo_layout::generate::{GeneratorConfig, LayoutGenerator};
+    let layout = LayoutGenerator::new(GeneratorConfig::default(), 11)
+        .generate_chip(2, 1)
+        .expect("demo chip generates");
+    let mut cfg = ChipConfig {
+        tile_nm: 448,
+        ..ChipConfig::default()
+    };
+    cfg.ilt.max_iterations = 4;
+    cfg.decomp.max_candidates = 6;
+    let prev = backend::backend_kind();
+    let mut pinned: Option<ldmo::geom::Grid> = None;
+    for kind in [BackendKind::Scalar, BackendKind::Simd, BackendKind::Batched] {
+        backend::set_backend(kind);
+        let (a, b) = serial_vs_threaded(|| run_chip(&layout, &cfg));
+        assert_eq!(a.grid.len(), 2, "two 448 nm tiles");
+        assert_eq!(a.epe_violations, b.epe_violations, "backend '{kind}'");
+        assert_eq!(a.degraded_tiles, 0, "backend '{kind}'");
+        assert_eq!(a.masks, b.masks, "backend '{kind}': 1 vs 4 threads");
+        for (x, y) in a.tiles.iter().zip(&b.tiles) {
+            assert_eq!(x.epe_owned, y.epe_owned, "backend '{kind}'");
+            assert_eq!(x.attempts, y.attempts, "backend '{kind}'");
+        }
+        // and across backends: the stitched chip mask is one artifact
+        match &pinned {
+            Some(mask) => assert_eq!(mask, &a.masks[0], "backend '{kind}' vs scalar"),
+            None => pinned = Some(a.masks[0].clone()),
+        }
+    }
+    backend::set_backend(prev);
+}
+
+#[test]
 fn flow_run_is_thread_count_invariant() {
     let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (_, layout) = cells::all_cells().into_iter().next().expect("cells");

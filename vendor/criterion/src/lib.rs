@@ -162,13 +162,22 @@ impl Bencher {
 /// all groups ran; a no-op without the flag.
 pub fn finalize(name: &str) {
     let args: Vec<String> = std::env::args().collect();
-    let Some(target) = args
+    let Some(mut target) = args
         .windows(2)
         .rfind(|pair| pair[0] == "--json-out")
         .map(|pair| std::path::PathBuf::from(&pair[1]))
     else {
         return;
     };
+    // cargo runs bench executables with the *package* directory as CWD;
+    // anchor relative targets at the workspace root so reports land in the
+    // repo-level bench_out/ (mirrors ldmo-bench::report::workspace_root,
+    // which this crate cannot depend on)
+    if !target.is_absolute() {
+        if let Some(root) = workspace_root() {
+            target = root.join(target);
+        }
+    }
     let path = if target.is_dir() || target.to_str().is_some_and(|s| s.ends_with('/')) {
         target.join(format!("BENCH_{name}.json"))
     } else {
@@ -180,6 +189,21 @@ pub fn finalize(name: &str) {
     match std::fs::write(&path, render_report(name)) {
         Ok(()) => eprintln!("[criterion] report written to {}", path.display()),
         Err(e) => eprintln!("[criterion] could not write {}: {e}", path.display()),
+    }
+}
+
+/// Nearest ancestor of the CWD whose `Cargo.toml` has a `[workspace]`
+/// section, or `None` outside any workspace.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if std::fs::read_to_string(dir.join("Cargo.toml")).is_ok_and(|t| t.contains("[workspace]"))
+        {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
     }
 }
 
