@@ -241,6 +241,11 @@ fn process_tile(
     ctx: &IltContext,
     scratch: &mut Option<IltScratch>,
 ) -> TileResult {
+    // the chip fan-out's fault-injection point, keyed by tile index like
+    // the flow's candidate tasks: a planned panic here is contained by
+    // the catching pool map and rebuilt by `panicked_tile`
+    ldmo_guard::fault::apply_stall(tile.index);
+    ldmo_guard::fault::maybe_panic(tile.index);
     let mut span = ldmo_obs::span("chip.tile");
     span.set("tile", tile.index as f64);
     if ldmo_obs::enabled() {

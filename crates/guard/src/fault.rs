@@ -20,6 +20,8 @@
 //! | `flip-model@N`       | XOR-flip model byte `N` on load                       |
 //! | `nan-weight@I`       | overwrite checkpoint weight `I` with NaN on load      |
 //! | `stall@J:MS`         | sleep `MS` ms inside candidate task `J`               |
+//! | `drop-conn@K`        | close accepted connection `K` without a response      |
+//! | `slow-io@K:MS`       | delay connection `K`'s I/O by `MS` ms                 |
 //! | `seed@S`             | derive a deterministic plan from seed `S`             |
 //!
 //! Every injection is a pure function of the plan and the (iteration,
@@ -61,6 +63,12 @@ pub struct FaultPlan {
     pub corrupt_model: Option<ModelFault>,
     /// Sleep `(task, duration)` inside candidate evaluations.
     pub stall: Option<(usize, Duration)>,
+    /// Close this accepted connection index without a response (network
+    /// fault: the peer sees EOF/reset and must retry).
+    pub drop_conn_at: Option<usize>,
+    /// Delay `(connection, duration)` before serving this accepted
+    /// connection's I/O (network fault: a slow link, not a slow worker).
+    pub slow_io: Option<(usize, Duration)>,
 }
 
 /// Error from parsing an `LDMO_FAULTS` spec string.
@@ -140,6 +148,17 @@ impl FaultPlan {
                         Duration::from_millis(parse_index(entry, ms)? as u64),
                     ));
                 }
+                "drop-conn" => plan.drop_conn_at = Some(parse_index(entry, value)?),
+                "slow-io" => {
+                    let (conn, ms) = value.split_once(':').ok_or_else(|| FaultSpecError {
+                        entry: entry.to_owned(),
+                        reason: "expected 'slow-io@CONN:MS'".to_owned(),
+                    })?;
+                    plan.slow_io = Some((
+                        parse_index(entry, conn)?,
+                        Duration::from_millis(parse_index(entry, ms)? as u64),
+                    ));
+                }
                 "seed" => {
                     let seeded = FaultPlan::seeded(parse_index(entry, value)? as u64);
                     plan = plan.merge(seeded);
@@ -174,6 +193,9 @@ impl FaultPlan {
                 at: (next() % 256) as usize,
             }),
             stall: Some(((next() % 4) as usize, Duration::from_millis(next() % 50))),
+            // network faults are opt-in per spec: a seeded compute-chaos
+            // plan must not silently start killing connections
+            ..FaultPlan::default()
         }
     }
 
@@ -184,6 +206,8 @@ impl FaultPlan {
             panic_at_task: other.panic_at_task.or(self.panic_at_task),
             corrupt_model: other.corrupt_model.or(self.corrupt_model),
             stall: other.stall.or(self.stall),
+            drop_conn_at: other.drop_conn_at.or(self.drop_conn_at),
+            slow_io: other.slow_io.or(self.slow_io),
         }
     }
 
@@ -205,6 +229,12 @@ impl FaultPlan {
         }
         if let Some((task, d)) = self.stall {
             parts.push(format!("stall@{task}:{}", d.as_millis()));
+        }
+        if let Some(k) = self.drop_conn_at {
+            parts.push(format!("drop-conn@{k}"));
+        }
+        if let Some((conn, d)) = self.slow_io {
+            parts.push(format!("slow-io@{conn}:{}", d.as_millis()));
         }
         parts.join(";")
     }
@@ -305,6 +335,27 @@ pub fn apply_stall(task: usize) {
     }
 }
 
+/// Whether the connection-drop fault targets accepted connection `conn`.
+/// The serving layer closes that connection without a response; the peer
+/// observes EOF/reset exactly as it would for a real network drop.
+#[inline]
+pub fn drop_conn_at(conn: usize) -> bool {
+    active() && plan().and_then(|p| p.drop_conn_at) == Some(conn)
+}
+
+/// Sleeps the planned slow-I/O delay when it targets connection `conn`.
+#[inline]
+pub fn apply_slow_io(conn: usize) {
+    if !active() {
+        return;
+    }
+    if let Some((c, d)) = plan().and_then(|p| p.slow_io) {
+        if c == conn && !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
 /// Applies `fault` to a model byte stream in place (helper shared by the
 /// load paths and the chaos tests).
 pub fn corrupt_bytes(bytes: &mut Vec<u8>, fault: ModelFault) {
@@ -339,18 +390,57 @@ mod tests {
 
     #[test]
     fn spec_roundtrip() {
-        let spec = "nan-grad@3;panic@1;truncate-model@16;stall@0:100";
+        let spec = "nan-grad@3;panic@1;truncate-model@16;stall@0:100;drop-conn@4;slow-io@2:25";
         let plan = FaultPlan::from_spec(spec).expect("parses");
         assert_eq!(plan.nan_grad_at, Some(3));
         assert_eq!(plan.panic_at_task, Some(1));
         assert_eq!(plan.corrupt_model, Some(ModelFault::Truncate { at: 16 }));
         assert_eq!(plan.stall, Some((0, Duration::from_millis(100))));
+        assert_eq!(plan.drop_conn_at, Some(4));
+        assert_eq!(plan.slow_io, Some((2, Duration::from_millis(25))));
         assert_eq!(FaultPlan::from_spec(&plan.to_spec()), Ok(plan));
     }
 
     #[test]
+    fn network_fault_queries() {
+        let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        clear();
+        // inactive: one relaxed load, nothing fires
+        assert!(!drop_conn_at(0));
+        apply_slow_io(0); // no sleep
+        install(FaultPlan {
+            drop_conn_at: Some(3),
+            slow_io: Some((1, Duration::from_millis(1))),
+            ..FaultPlan::default()
+        });
+        assert!(drop_conn_at(3));
+        assert!(!drop_conn_at(2));
+        let t = std::time::Instant::now();
+        apply_slow_io(1);
+        assert!(t.elapsed() >= Duration::from_millis(1));
+        apply_slow_io(0); // untargeted connection: no delay injected
+        clear();
+    }
+
+    #[test]
+    fn seeded_plans_leave_network_faults_unset() {
+        let plan = FaultPlan::seeded(42);
+        assert_eq!(plan.drop_conn_at, None);
+        assert_eq!(plan.slow_io, None);
+    }
+
+    #[test]
     fn bad_specs_are_rejected() {
-        for bad in ["nan-grad", "nan-grad@x", "warp@3", "stall@5", "stall@a:b"] {
+        for bad in [
+            "nan-grad",
+            "nan-grad@x",
+            "warp@3",
+            "stall@5",
+            "stall@a:b",
+            "drop-conn@x",
+            "slow-io@5",
+            "slow-io@a:b",
+        ] {
             assert!(FaultPlan::from_spec(bad).is_err(), "accepted '{bad}'");
         }
         // empty entries are harmless

@@ -1,0 +1,247 @@
+//! The soak client: N concurrent request generators that validate every
+//! byte the daemon returns. This is the measuring instrument of the
+//! chaos soak — its report distinguishes every legitimate response row
+//! and counts *poisoned* responses (malformed JSON, unknown code, id
+//! mismatch), which must be zero under any fault plan.
+//!
+//! Connection-level faults are part of the contract: a `drop-conn` fault
+//! closes the socket before a response, the client observes EOF/reset
+//! and retries the same request. "Zero dropped-without-response" means
+//! every request *eventually* receives a typed response through retries,
+//! exactly how a production client rides out a flaky network.
+
+use crate::protocol::{OptimizeRequest, OptimizeResponse};
+use ldmo_layout::generate::{GeneratorConfig, LayoutGenerator};
+use ldmo_layout::io as layout_io;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Soak-driver configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Layout-generation seed (client `i` uses `seed + i`).
+    pub seed: u64,
+    /// Reconnect attempts per request on connection errors (EOF/reset —
+    /// the `drop-conn` fault or a real network drop).
+    pub max_retries: usize,
+    /// Per-request deadline passed to the server.
+    pub deadline_ms: Option<u64>,
+    /// Per-request ILT iteration cap override.
+    pub max_iterations: Option<usize>,
+    /// Per-request candidate cap override.
+    pub max_candidates: Option<usize>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:9185".into(),
+            clients: 4,
+            requests: 8,
+            seed: 7,
+            max_retries: 8,
+            deadline_ms: None,
+            max_iterations: None,
+            max_candidates: None,
+        }
+    }
+}
+
+/// What the soak observed, summed over all clients.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Requests sent (= clients × requests when nothing is poisoned).
+    pub sent: u64,
+    /// 200 `ok` responses.
+    pub ok: u64,
+    /// 200 `degraded` responses.
+    pub degraded: u64,
+    /// Responses served from the cache (`cached: true`).
+    pub cached: u64,
+    /// Responses produced by the halved-budget retry.
+    pub retried: u64,
+    /// 429 `shed` rows that persisted through the shed-retry budget.
+    pub shed: u64,
+    /// 503 `draining` rows.
+    pub draining: u64,
+    /// 4xx rows (should be zero — the driver only sends valid requests).
+    pub rejected: u64,
+    /// Reconnects after connection drops (EOF/reset before a response).
+    pub conn_retries: u64,
+    /// Requests that exhausted their reconnect budget without any
+    /// response (counted against the zero-dropped contract).
+    pub dropped: u64,
+    /// Malformed responses, with reasons — the zero-poisoned contract.
+    pub poisoned: Vec<String>,
+}
+
+impl ClientReport {
+    fn absorb(&mut self, other: ClientReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.cached += other.cached;
+        self.retried += other.retried;
+        self.shed += other.shed;
+        self.draining += other.draining;
+        self.rejected += other.rejected;
+        self.conn_retries += other.conn_retries;
+        self.dropped += other.dropped;
+        self.poisoned.extend(other.poisoned);
+    }
+
+    /// Whether the soak holds the robustness contract: every request got
+    /// a typed response and none of them were poisoned.
+    pub fn clean(&self) -> bool {
+        self.poisoned.is_empty() && self.dropped == 0
+    }
+}
+
+/// One raw HTTP exchange: connect, POST `body` to `path`, return the
+/// response body (the JSON document).
+///
+/// # Errors
+///
+/// Propagates connection and socket errors (including the EOF a
+/// `drop-conn` fault produces).
+pub fn post(addr: &str, path: &str, body: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.0\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, payload)) if !payload.is_empty() => Ok(payload.to_owned()),
+        _ => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed without a response body",
+        )),
+    }
+}
+
+/// Asks the daemon to drain (`POST /shutdown`).
+///
+/// # Errors
+///
+/// Propagates connection errors.
+pub fn shutdown(addr: &str) -> io::Result<String> {
+    post(addr, "/shutdown", "")
+}
+
+/// Sends one request with connection-retry and shed-retry handling,
+/// updating `report`. Returns the final response when one arrived.
+fn drive_one(
+    addr: &str,
+    request: &OptimizeRequest,
+    max_retries: usize,
+    report: &mut ClientReport,
+) -> Option<OptimizeResponse> {
+    let body = request.to_json();
+    let mut conn_budget = max_retries;
+    let mut shed_budget = 100usize;
+    loop {
+        let payload = match post(addr, "/optimize", &body) {
+            Ok(payload) => payload,
+            Err(_) if conn_budget > 0 => {
+                conn_budget -= 1;
+                report.conn_retries += 1;
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => {
+                report.dropped += 1;
+                return None;
+            }
+        };
+        let response = match OptimizeResponse::from_json(&payload) {
+            Ok(response) => response,
+            Err(reason) => {
+                report
+                    .poisoned
+                    .push(format!("{}: {reason} in {payload:?}", request.id));
+                return None;
+            }
+        };
+        if response.id != request.id {
+            report.poisoned.push(format!(
+                "{}: response echoes id '{}'",
+                request.id, response.id
+            ));
+            return None;
+        }
+        if response.code == "shed" && shed_budget > 0 {
+            // a shed is a valid deterministic response; back off and
+            // resubmit so the soak eventually serves everything
+            shed_budget -= 1;
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        match response.code.as_str() {
+            "ok" => report.ok += 1,
+            "degraded" => report.degraded += 1,
+            "shed" => report.shed += 1,
+            "draining" => report.draining += 1,
+            _ => report.rejected += 1,
+        }
+        if response.cached {
+            report.cached += 1;
+        }
+        if response.retried {
+            report.retried += 1;
+        }
+        return Some(response);
+    }
+}
+
+/// Runs the full soak: `clients` threads, each sending `requests`
+/// deterministic generated layouts, validating every response.
+pub fn run_soak(cfg: &ClientConfig) -> ClientReport {
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|ci| {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut report = ClientReport::default();
+                let mut generator =
+                    LayoutGenerator::new(GeneratorConfig::default(), cfg.seed + ci as u64);
+                for (ri, layout) in generator
+                    .generate_dataset(cfg.requests)
+                    .into_iter()
+                    .enumerate()
+                {
+                    let request = OptimizeRequest {
+                        id: format!("c{ci}-r{ri}"),
+                        layout_text: layout_io::to_string(&layout),
+                        deadline_ms: cfg.deadline_ms,
+                        max_iterations: cfg.max_iterations,
+                        max_candidates: cfg.max_candidates,
+                    };
+                    report.sent += 1;
+                    drive_one(&cfg.addr, &request, cfg.max_retries, &mut report);
+                }
+                report
+            })
+        })
+        .collect();
+    let mut total = ClientReport::default();
+    for handle in handles {
+        match handle.join() {
+            Ok(report) => total.absorb(report),
+            Err(_) => total.poisoned.push("client thread panicked".into()),
+        }
+    }
+    total
+}

@@ -78,6 +78,8 @@ fn run(args: &[String]) -> Result<(), LdmoError> {
         Some("train") => cmd_train(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench-report") => cmd_bench_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -126,7 +128,17 @@ fn print_usage() {
          \x20           [--threshold R]                (exit 8 when any regress)\n\
          \x20 trace     flame FILE..                   profiler hotspot table from\n\
          \x20           [--out FOLDED.txt]             sample lines (+ folded stacks)\n\
-         \x20 bench-report DIR                         aggregate BENCH_*.json reports\n\n\
+         \x20 bench-report DIR                         aggregate BENCH_*.json reports\n\
+         \x20 serve     [--addr H:P] [--queue N]       fault-tolerant batch-serving\n\
+         \x20           [--batch N] [--deadline-ms MS] daemon (DESIGN.md 16); POST\n\
+         \x20           [--cache FILE] [--iters N]     /optimize, /shutdown to drain;\n\
+         \x20           [--candidates N]               --cache enables the crash-safe\n\
+         \x20                                          content-addressed result log\n\
+         \x20 client    [--addr H:P] [--clients N]     concurrent soak driver; exits\n\
+         \x20           [--requests N] [--seed S]      3 when any response is poisoned\n\
+         \x20           [--retries N] [--deadline-ms]  or dropped without a response;\n\
+         \x20           [--iters N] [--candidates N]   --shutdown drains the daemon\n\
+         \x20           [--shutdown]                   after the soak\n\n\
          every subcommand accepts --trace-out FILE (or LDMO_TRACE=1) to write\n\
          an ldmo-obs JSONL trace and print a span summary to stderr, and\n\
          --threads N (or LDMO_THREADS=N) to size the worker pool; results\n\
@@ -653,5 +665,136 @@ fn cmd_train(args: &[String]) -> Result<(), LdmoError> {
         .save(out)
         .map_err(|e| LdmoError::from(e).with_context(format!("weights '{out}'")))?;
     println!("weights saved to {out}");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), LdmoError> {
+    use ldmo::serve::{ServeConfig, Server};
+    let (_, opts) = split_options(args);
+    let mut cfg = ServeConfig {
+        addr: opts.get("addr").copied().unwrap_or("127.0.0.1:9185").into(),
+        ..ServeConfig::default()
+    };
+    if let Some(v) = opts.get("queue") {
+        cfg.queue_capacity = parse_flag(v, "queue")?;
+        if cfg.queue_capacity == 0 {
+            return Err(LdmoError::usage("--queue must be positive"));
+        }
+    }
+    if let Some(v) = opts.get("batch") {
+        cfg.batch_max = parse_flag(v, "batch")?;
+        if cfg.batch_max == 0 {
+            return Err(LdmoError::usage("--batch must be positive"));
+        }
+    }
+    if let Some(v) = opts.get("deadline-ms") {
+        let ms: u64 = parse_flag(v, "deadline-ms")?;
+        // 0 disables the default deadline entirely
+        cfg.default_deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    if let Some(v) = opts.get("cache") {
+        cfg.cache_path = Some(std::path::PathBuf::from(v));
+    }
+    if let Some(v) = opts.get("iters") {
+        cfg.pipeline.ilt.max_iterations = parse_flag(v, "iters")?;
+    }
+    if let Some(v) = opts.get("candidates") {
+        cfg.pipeline.decomp.max_candidates = parse_flag(v, "candidates")?;
+    }
+    let bind = cfg.addr.clone();
+    let server = Server::start(cfg).map_err(io_error(format!("bind '{bind}'")))?;
+    println!("ldmo-serve listening on {}", server.addr());
+    println!("POST /optimize to submit, POST /shutdown to drain");
+    // the accept/scheduler threads own the work; this thread just waits
+    // for a drain request, then joins them and reports the totals
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let stats = server.shutdown();
+    println!(
+        "drained: {} served ({} degraded, {} cache hits / {} misses), \
+         {} shed, {} rejected, {} drained-at-shutdown, {} conn drops",
+        stats.served,
+        stats.degraded,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.shed,
+        stats.rejected,
+        stats.drained,
+        stats.conn_drops
+    );
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), LdmoError> {
+    use ldmo::serve::{client, ClientConfig};
+    // `--shutdown` is a boolean flag; strip it before the greedy
+    // `--flag value` parser (same idiom as `ldmo trace --reconcile`)
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--shutdown")
+        .cloned()
+        .collect();
+    let (_, opts) = split_options(&rest);
+    let mut cfg = ClientConfig::default();
+    if let Some(v) = opts.get("addr") {
+        cfg.addr = (*v).into();
+    }
+    if let Some(v) = opts.get("clients") {
+        cfg.clients = parse_flag(v, "clients")?;
+    }
+    if let Some(v) = opts.get("requests") {
+        cfg.requests = parse_flag(v, "requests")?;
+    }
+    if let Some(v) = opts.get("seed") {
+        cfg.seed = parse_flag(v, "seed")?;
+    }
+    if let Some(v) = opts.get("retries") {
+        cfg.max_retries = parse_flag(v, "retries")?;
+    }
+    if let Some(v) = opts.get("deadline-ms") {
+        cfg.deadline_ms = Some(parse_flag(v, "deadline-ms")?);
+    }
+    if let Some(v) = opts.get("iters") {
+        cfg.max_iterations = Some(parse_flag(v, "iters")?);
+    }
+    if let Some(v) = opts.get("candidates") {
+        cfg.max_candidates = Some(parse_flag(v, "candidates")?);
+    }
+    let report = client::run_soak(&cfg);
+    println!(
+        "soak: {} sent, {} ok, {} degraded, {} cached, {} retried, \
+         {} shed, {} draining, {} rejected, {} conn retries",
+        report.sent,
+        report.ok,
+        report.degraded,
+        report.cached,
+        report.retried,
+        report.shed,
+        report.draining,
+        report.rejected,
+        report.conn_retries
+    );
+    if shutdown {
+        match client::shutdown(&cfg.addr) {
+            Ok(_) => println!("drain requested"),
+            Err(e) => eprintln!("drain request failed: {e}"),
+        }
+    }
+    if !report.clean() {
+        for reason in report.poisoned.iter().take(8) {
+            eprintln!("poisoned: {reason}");
+        }
+        return Err(LdmoError::Parse {
+            context: "serve soak responses".into(),
+            detail: format!(
+                "{} poisoned, {} dropped without a response",
+                report.poisoned.len(),
+                report.dropped
+            ),
+        });
+    }
+    println!("soak clean: every request answered, zero poisoned");
     Ok(())
 }

@@ -22,4 +22,5 @@ pub use ldmo_litho as litho;
 pub use ldmo_nn as nn;
 pub use ldmo_obs as obs;
 pub use ldmo_par as par;
+pub use ldmo_serve as serve;
 pub use ldmo_vision as vision;

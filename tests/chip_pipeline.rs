@@ -3,14 +3,43 @@
 //! The pivotal guarantee: tiling is an implementation detail, not a
 //! semantic one. A chip that fits in one tile must report exactly the
 //! whole-grid flow's outcome, a multi-tile run must account every EPE
-//! violation to exactly one owning tile, and per-tile budgets degrade a
-//! tile instead of aborting the chip.
+//! violation to exactly one owning tile, and per-tile budgets — or a
+//! chaos-plan panic striking one tile worker — degrade a tile instead of
+//! aborting the chip.
+//!
+//! The fault plan is process-global, so every test here serializes on one
+//! lock and clears the plan on entry and exit (the chaos tests install
+//! `panic@2`; without the lock it would leak into the clean scenarios).
 
 use ldmo::chip::{run_chip, ChipConfig};
 use ldmo::core::flow::{FlowConfig, LdmoFlow, SelectionStrategy};
-use ldmo::ilt::Budget;
+use ldmo::guard::fault::{self, FaultPlan};
+use ldmo::guard::{Budget, DegradeReason, OutcomeHealth};
 use ldmo::layout::generate::{GeneratorConfig, LayoutGenerator};
 use ldmo::layout::Layout;
+use std::sync::Mutex;
+
+/// Serializes every test in this file: the installed fault plan is
+/// process-wide state.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+struct ClearedPlan<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+/// Takes the lock and guarantees a clean plan on entry *and* exit, even
+/// when the test body panics.
+fn chaos_guard() -> ClearedPlan<'static> {
+    let lock = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    ClearedPlan { _lock: lock }
+}
+
+impl Drop for ClearedPlan<'_> {
+    fn drop(&mut self) {
+        fault::clear();
+    }
+}
 
 fn demo_chip(cols: usize, rows: usize, seed: u64) -> Layout {
     LayoutGenerator::new(GeneratorConfig::default(), seed)
@@ -32,6 +61,7 @@ fn fast_cfg() -> ChipConfig {
 
 #[test]
 fn one_tile_chip_matches_the_whole_grid_flow() {
+    let _g = chaos_guard();
     // a single-block chip fits in one 448 nm tile, so the tiled path and
     // the whole-grid LithoProxy flow run the same ranking, the same
     // abort-attempt loop and the same final ILT — EPE count, attempt
@@ -59,6 +89,7 @@ fn one_tile_chip_matches_the_whole_grid_flow() {
 
 #[test]
 fn multi_tile_chip_accounts_every_violation_once() {
+    let _g = chaos_guard();
     let layout = demo_chip(2, 2, 3);
     let mut cfg = fast_cfg();
     cfg.ilt.max_iterations = 2;
@@ -77,6 +108,7 @@ fn multi_tile_chip_accounts_every_violation_once() {
 
 #[test]
 fn per_tile_budget_degrades_tiles_never_the_chip() {
+    let _g = chaos_guard();
     let layout = demo_chip(2, 1, 5);
     let mut cfg = fast_cfg();
     cfg.decomp.max_candidates = 4;
@@ -97,4 +129,63 @@ fn per_tile_budget_degrades_tiles_never_the_chip() {
     let again = run_chip(&layout, &cfg);
     assert_eq!(out.masks, again.masks);
     assert_eq!(out.epe_violations, again.epe_violations);
+}
+
+#[test]
+fn panic_fault_degrades_the_struck_tile_never_the_chip() {
+    let _g = chaos_guard();
+    let layout = demo_chip(2, 2, 3);
+    let mut cfg = fast_cfg();
+    cfg.ilt.max_iterations = 2;
+    cfg.decomp.max_candidates = 4;
+
+    // the CI chaos spec: the worker processing tile 2 panics; the
+    // catching pool contains it and `panicked_tile` rebuilds that slot
+    // from the unoptimized drawn decomposition
+    fault::install(FaultPlan::from_spec("panic@2").expect("spec parses"));
+    let out = run_chip(&layout, &cfg);
+    assert_eq!(out.tiles.len(), 4);
+    assert_eq!(out.degraded_tiles, 1, "exactly the struck tile degrades");
+    match &out.tiles[2].health {
+        OutcomeHealth::Degraded { reason } => {
+            assert_eq!(*reason, DegradeReason::WorkerPanic, "tile 2 reason")
+        }
+        other => panic!("tile 2 should be degraded, got {other}"),
+    }
+    for t in out.tiles.iter().filter(|t| t.index != 2) {
+        assert!(!t.health.is_degraded(), "tile {} stays healthy", t.index);
+    }
+    // a rebuilt tile still owns its EPE sites: the accounting partition
+    // survives the panic
+    let owned_sum: usize = out.tiles.iter().map(|t| t.epe_owned).sum();
+    assert_eq!(out.epe_violations, owned_sum);
+    let energy: f32 = out.masks[0].as_slice().iter().sum();
+    assert!(energy > 0.0, "the rebuilt tile contributes drawn masks");
+}
+
+#[test]
+fn panic_fault_chip_masks_are_deterministic_under_the_plan() {
+    let _g = chaos_guard();
+    let layout = demo_chip(2, 2, 3);
+    let mut cfg = fast_cfg();
+    cfg.ilt.max_iterations = 2;
+    cfg.decomp.max_candidates = 4;
+
+    // the rebuild path is keyed only on the tile index, so two runs under
+    // the same plan stitch bit-identical chip masks — chaos does not
+    // break the determinism contract
+    fault::install(FaultPlan::from_spec("panic@2").expect("spec parses"));
+    let first = run_chip(&layout, &cfg);
+    let second = run_chip(&layout, &cfg);
+    assert_eq!(first.masks, second.masks);
+    assert_eq!(first.epe_violations, second.epe_violations);
+    assert_eq!(first.degraded_tiles, second.degraded_tiles);
+
+    // and the degraded stitch differs from the clean one only in the
+    // struck tile's contribution — clearing the plan restores the
+    // baseline exactly
+    fault::clear();
+    let clean = run_chip(&layout, &cfg);
+    assert_eq!(clean.degraded_tiles, 0);
+    assert_ne!(first.masks, clean.masks, "the struck tile's mask changed");
 }

@@ -18,7 +18,17 @@ fn help_lists_subcommands() {
     let out = ldmo().arg("help").output().expect("runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for sub in ["generate", "info", "decompose", "optimize", "flow", "chip", "train"] {
+    for sub in [
+        "generate",
+        "info",
+        "decompose",
+        "optimize",
+        "flow",
+        "chip",
+        "train",
+        "serve",
+        "client",
+    ] {
         assert!(text.contains(sub), "help missing '{sub}'");
     }
 }
